@@ -1,0 +1,66 @@
+// Command emcalc evaluates the paper's closed-form models from the
+// command line: the expected number of transmissions per packet E[M] for
+// each recovery scheme, the residual loss q(k,n,p) of the layered
+// architecture, and the expected NP round count E[T].
+//
+//	emcalc -R 1000000 -p 0.01 -k 7
+//	emcalc -R 1000 -p 0.01 -k 20 -h 3 -a 1
+//	emcalc -R 1000000 -p 0.01 -k 7 -high 0.01      # 1% receivers at p=0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmfec/internal/model"
+)
+
+func main() {
+	var (
+		r     = flag.Int("R", 1000, "number of receivers")
+		p     = flag.Float64("p", 0.01, "packet loss probability")
+		k     = flag.Int("k", 7, "transmission group size")
+		h     = flag.Int("h", -1, "parities per block for layered / finite integrated FEC (-1: k/4, min 1)")
+		a     = flag.Int("a", 0, "proactive parities (integrated FEC)")
+		high  = flag.Float64("high", 0, "fraction of receivers at loss probability 0.25")
+		highP = flag.Float64("highp", 0.25, "loss probability of the high-loss class")
+	)
+	flag.Parse()
+	if *r < 1 || *p < 0 || *p >= 1 || *k < 1 {
+		fmt.Fprintln(os.Stderr, "emcalc: need R >= 1, 0 <= p < 1, k >= 1")
+		os.Exit(2)
+	}
+	hh := *h
+	if hh < 0 {
+		hh = *k / 4
+		if hh < 1 {
+			hh = 1
+		}
+	}
+
+	fmt.Printf("R=%d  p=%g  k=%d  h=%d  a=%d\n\n", *r, *p, *k, hh, *a)
+	if *high == 0 {
+		fmt.Printf("residual loss q(k,k+h,p)        = %.6g\n", model.Q(*k, *k+hh, *p))
+		fmt.Printf("E[M] no FEC                     = %.4f\n", model.ExpectedTxNoFEC(*r, *p))
+		fmt.Printf("E[M] layered FEC                = %.4f\n", model.ExpectedTxLayered(*k, hh, *r, *p))
+		fmt.Printf("E[M] integrated FEC (h finite)  = %.4f\n", model.ExpectedTxIntegratedFinite(*k, hh, *a, *r, *p))
+		fmt.Printf("E[M] integrated FEC (bound)     = %.4f\n", model.ExpectedTxIntegrated(*k, *a, *r, *p))
+		fmt.Printf("E[T] NP rounds (bound)          = %.4f\n", model.ExpectedRoundsNP(*k, *r, *p))
+		return
+	}
+	if *high < 0 || *high > 1 || *highP <= 0 || *highP >= 1 {
+		fmt.Fprintln(os.Stderr, "emcalc: need 0 <= high <= 1 and 0 < highp < 1")
+		os.Exit(2)
+	}
+	nHigh := int(*high * float64(*r))
+	classes := []model.Class{
+		{P: *p, Count: *r - nHigh},
+		{P: *highP, Count: nHigh},
+	}
+	fmt.Printf("heterogeneous population: %d receivers at p=%g, %d at p=%g\n\n",
+		*r-nHigh, *p, nHigh, *highP)
+	fmt.Printf("E[M] no FEC                     = %.4f\n", model.ExpectedTxNoFECHetero(classes))
+	fmt.Printf("E[M] layered FEC                = %.4f\n", model.ExpectedTxLayeredHetero(*k, hh, classes))
+	fmt.Printf("E[M] integrated FEC (bound)     = %.4f\n", model.ExpectedTxIntegratedHetero(*k, *a, classes))
+}

@@ -1,0 +1,100 @@
+// Command figures regenerates the paper's evaluation figures as TSV data.
+//
+//	figures -fig all -out results/        # every figure, one file each
+//	figures -fig 5                        # figure 5 to stdout
+//	figures -fig 11 -samples 4000         # more Monte-Carlo precision
+//	figures -quick                        # fast smoke run of everything
+//
+// Figure numbers follow the paper: 1 (coder throughput), 3-12 and 14-16
+// (expected transmissions under the various loss models), 17-18 (end-host
+// processing rates and throughput). Figures 2 and 13 are diagrams.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rmfec/internal/figures"
+	"rmfec/internal/hostperf"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", `figure to generate: "all", "5", or "fig5"`)
+		out     = flag.String("out", "", "output directory (default: stdout)")
+		samples = flag.Int("samples", 0, "base Monte-Carlo samples per point (default 1500)")
+		seed    = flag.Int64("seed", 1997, "random seed")
+		quick   = flag.Bool("quick", false, "fast low-precision run")
+		meas    = flag.Bool("measured", false, "use THIS machine's measured timing constants for figs 17/18 instead of the paper's DECstation constants")
+		ascii   = flag.Bool("ascii", false, "render an ASCII plot instead of TSV (stdout only)")
+	)
+	flag.Parse()
+
+	opt := figures.Options{Seed: *seed, Samples: *samples, Quick: *quick}
+	if *meas {
+		tm, err := hostperf.Timing()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures: measuring host timing:", err)
+			os.Exit(1)
+		}
+		opt.Timing = &tm
+		fmt.Fprintf(os.Stderr, "measured timing [µs]: Xp=%.2f Xn=%.2f Yp=%.2f Yn=%.2f Yt=%.3f Ce=%.3f Cd=%.3f\n",
+			tm.Xp, tm.Xn, tm.Yp, tm.Yn, tm.Yt, tm.Ce, tm.Cd)
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = figures.IDs()
+	} else {
+		id := *fig
+		if !strings.HasPrefix(id, "fig") {
+			id = "fig" + id
+		}
+		ids = []string{id}
+	}
+
+	for _, id := range ids {
+		f, err := figures.Generate(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			var err error
+			if *ascii {
+				err = f.RenderASCII(os.Stdout, 78, 20)
+			} else {
+				err = f.WriteTSV(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, id+".tsv")
+		w, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := f.WriteTSV(w); err != nil {
+			w.Close()
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s (%d series)\n", path, f.Title, len(f.Series))
+	}
+}

@@ -1,0 +1,74 @@
+// Command nprecv receives a file multicast by npsend.
+//
+//	nprecv -group 239.2.3.4:7654 -out big.iso -k 20 -shard 1024
+//
+// The coding parameters (-k, -shard, -session) must match the sender's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rmfec/internal/core"
+	"rmfec/internal/udpcast"
+)
+
+func main() {
+	var (
+		group   = flag.String("group", "239.2.3.4:7654", "multicast group address")
+		out     = flag.String("out", "", "output file (required)")
+		k       = flag.Int("k", 20, "transmission group size")
+		shard   = flag.Int("shard", 1024, "payload bytes per packet")
+		session = flag.Uint("session", 1, "session id")
+		timeout = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "nprecv: -out is required")
+		os.Exit(2)
+	}
+
+	conn, err := udpcast.Join(*group, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nprecv:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	cfg := core.Config{
+		Session:   uint32(*session),
+		K:         *k,
+		ShardSize: *shard,
+	}
+	recv, err := core.NewReceiver(conn, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nprecv:", err)
+		os.Exit(1)
+	}
+	done := make(chan []byte, 1)
+	recv.OnComplete = func(msg []byte) { done <- msg }
+	conn.Serve(recv.HandlePacket)
+
+	fmt.Printf("nprecv: listening on %s (k=%d, shard=%d, session=%d)\n",
+		*group, *k, *shard, *session)
+	start := time.Now()
+	select {
+	case msg := <-done:
+		if err := os.WriteFile(*out, msg, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "nprecv:", err)
+			os.Exit(1)
+		}
+		var st core.ReceiverStats
+		conn.Do(func() { st = recv.Stats() })
+		fmt.Printf("nprecv: %d bytes in %v -> %s\n", len(msg),
+			time.Since(start).Round(time.Millisecond), *out)
+		fmt.Printf("nprecv: %d data + %d parity received, %d groups decoded, "+
+			"%d naks sent, %d suppressed\n",
+			st.DataRx, st.ParityRx, st.Decodes, st.NakTx, st.NakSupp)
+	case <-time.After(*timeout):
+		fmt.Fprintln(os.Stderr, "nprecv: timed out waiting for transfer")
+		os.Exit(1)
+	}
+}

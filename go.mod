@@ -1,0 +1,3 @@
+module rmfec
+
+go 1.22

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"rmfec/internal/rse"
+	"rmfec/internal/rse16"
+)
+
+// erasureCodec abstracts the two Reed-Solomon backends so the protocol
+// engines can serve both interactive group sizes (GF(2^8), K <= 254) and
+// the very large transmission groups Section 4.2 recommends against burst
+// loss (GF(2^16), K up to rse16.MaxK; even shard sizes).
+type erasureCodec interface {
+	// EncodeParity returns parity shard j computed from the k data shards.
+	EncodeParity(j int, data [][]byte) ([]byte, error)
+	// Reconstruct rebuilds missing data shards in place; shards has
+	// length k+h with nil marking losses.
+	Reconstruct(shards [][]byte) error
+}
+
+type gf8Codec struct{ c *rse.Code }
+
+func (g gf8Codec) EncodeParity(j int, data [][]byte) ([]byte, error) {
+	return g.c.EncodeParity(j, data, nil)
+}
+func (g gf8Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
+
+type gf16Codec struct{ c *rse16.Code }
+
+func (g gf16Codec) EncodeParity(j int, data [][]byte) ([]byte, error) {
+	return g.c.EncodeParity(j, data)
+}
+func (g gf16Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
+
+// newCodec selects the backend for the configuration: GF(2^8) whenever the
+// block fits in 255 packets, GF(2^16) beyond that.
+func newCodec(cfg Config) (erasureCodec, error) {
+	if cfg.K+cfg.MaxParity <= 255 {
+		c, err := rse.New(cfg.K, cfg.MaxParity)
+		if err != nil {
+			return nil, err
+		}
+		return gf8Codec{c}, nil
+	}
+	if cfg.ShardSize%2 != 0 {
+		return nil, fmt.Errorf("core: K+MaxParity = %d needs the GF(2^16) codec, which requires an even ShardSize (got %d)",
+			cfg.K+cfg.MaxParity, cfg.ShardSize)
+	}
+	c, err := rse16.New(cfg.K, cfg.MaxParity)
+	if err != nil {
+		return nil, err
+	}
+	return gf16Codec{c}, nil
+}

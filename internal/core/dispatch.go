@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"rmfec/internal/packet"
+)
+
+// Dispatcher demultiplexes one multicast group among several protocol
+// engines by session id, so a single Env (one socket, one simnet node) can
+// carry concurrent transfers — several senders, several receivers, or a
+// node that is both. Install Dispatcher.HandlePacket as the node's packet
+// handler and register each engine's HandlePacket under its session.
+type Dispatcher struct {
+	handlers map[uint32]func(b []byte)
+	// Fallback, if set, receives packets with no registered session and
+	// undecodable packets (for logging or monitoring).
+	Fallback func(b []byte)
+
+	// Dropped counts packets that matched no session and had no Fallback.
+	Dropped uint64
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{handlers: make(map[uint32]func(b []byte))}
+}
+
+// Register routes packets of the given session to handler. It fails if
+// the session is already registered.
+func (d *Dispatcher) Register(session uint32, handler func(b []byte)) error {
+	if handler == nil {
+		return fmt.Errorf("core: nil handler for session %d", session)
+	}
+	if _, dup := d.handlers[session]; dup {
+		return fmt.Errorf("core: session %d already registered", session)
+	}
+	d.handlers[session] = handler
+	return nil
+}
+
+// Unregister removes a session's route; unknown sessions are a no-op.
+func (d *Dispatcher) Unregister(session uint32) { delete(d.handlers, session) }
+
+// Sessions returns the number of registered sessions.
+func (d *Dispatcher) Sessions() int { return len(d.handlers) }
+
+// HandlePacket routes one incoming packet. It peeks only at the header;
+// the registered engine re-validates everything as usual.
+func (d *Dispatcher) HandlePacket(b []byte) {
+	pkt, err := packet.Decode(b)
+	if err != nil {
+		if d.Fallback != nil {
+			d.Fallback(b)
+		} else {
+			d.Dropped++
+		}
+		return
+	}
+	if h, ok := d.handlers[pkt.Session]; ok {
+		h(b)
+		return
+	}
+	if d.Fallback != nil {
+		d.Fallback(b)
+	} else {
+		d.Dropped++
+	}
+}

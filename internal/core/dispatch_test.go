@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rmfec/internal/loss"
+	"rmfec/internal/packet"
+	"rmfec/internal/simnet"
+)
+
+func TestDispatcherRouting(t *testing.T) {
+	d := NewDispatcher()
+	var got1, got2 int
+	if err := d.Register(1, func([]byte) { got1++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(2, func([]byte) { got2++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(1, func([]byte) {}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := d.Register(3, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if d.Sessions() != 2 {
+		t.Errorf("Sessions = %d", d.Sessions())
+	}
+
+	p1 := packet.Packet{Type: packet.TypeData, Session: 1, Payload: []byte{1}}
+	p2 := packet.Packet{Type: packet.TypeNak, Session: 2}
+	d.HandlePacket(p1.MustEncode())
+	d.HandlePacket(p1.MustEncode())
+	d.HandlePacket(p2.MustEncode())
+	if got1 != 2 || got2 != 1 {
+		t.Errorf("routing: %d/%d", got1, got2)
+	}
+
+	// Unknown session and garbage without a fallback count as dropped.
+	p9 := packet.Packet{Type: packet.TypeData, Session: 9}
+	d.HandlePacket(p9.MustEncode())
+	d.HandlePacket([]byte("junk"))
+	if d.Dropped != 2 {
+		t.Errorf("Dropped = %d", d.Dropped)
+	}
+
+	// With a fallback they are delivered there instead.
+	var fb int
+	d.Fallback = func([]byte) { fb++ }
+	d.HandlePacket(p9.MustEncode())
+	d.HandlePacket([]byte("junk"))
+	if fb != 2 || d.Dropped != 2 {
+		t.Errorf("fallback %d, dropped %d", fb, d.Dropped)
+	}
+
+	d.Unregister(1)
+	d.Unregister(42) // no-op
+	d.HandlePacket(p1.MustEncode())
+	if got1 != 2 || fb != 3 {
+		t.Errorf("after unregister: got1=%d fb=%d", got1, fb)
+	}
+}
+
+func TestDispatcherConcurrentTransfersOneGroup(t *testing.T) {
+	// Two independent NP transfers share every node of one multicast
+	// medium: each node runs a dispatcher carrying one engine per session.
+	sched := simnet.NewScheduler()
+	sched.MaxEvents = 20_000_000
+	rng := rand.New(rand.NewSource(40))
+	net := simnet.NewNetwork(sched, rng)
+
+	cfgA := Config{Session: 10, K: 8, ShardSize: 64}
+	cfgB := Config{Session: 20, K: 4, ShardSize: 128}
+
+	// One physical sender node carries BOTH senders.
+	sn := net.AddNode(simnet.NodeConfig{Delay: time.Millisecond})
+	sd := NewDispatcher()
+	sA, err := NewSender(sn, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := NewSender(sn, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Register(cfgA.Session, sA.HandlePacket); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Register(cfgB.Session, sB.HandlePacket); err != nil {
+		t.Fatal(err)
+	}
+	sn.SetHandler(sd.HandlePacket)
+
+	const r = 6
+	gotA := make([][]byte, r)
+	gotB := make([][]byte, r)
+	for i := 0; i < r; i++ {
+		node := net.AddNode(simnet.NodeConfig{
+			Delay: time.Millisecond,
+			Loss:  loss.NewBernoulli(0.08, rng),
+		})
+		rd := NewDispatcher()
+		rA, err := NewReceiver(node, cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rB, err := NewReceiver(node, cfgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := i
+		rA.OnComplete = func(m []byte) { gotA[idx] = m }
+		rB.OnComplete = func(m []byte) { gotB[idx] = m }
+		if err := rd.Register(cfgA.Session, rA.HandlePacket); err != nil {
+			t.Fatal(err)
+		}
+		if err := rd.Register(cfgB.Session, rB.HandlePacket); err != nil {
+			t.Fatal(err)
+		}
+		node.SetHandler(rd.HandlePacket)
+	}
+
+	msgA := testMessage(7000, 41)
+	msgB := testMessage(5000, 42)
+	if err := sA.Send(msgA); err != nil {
+		t.Fatal(err)
+	}
+	if err := sB.Send(msgB); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	for i := 0; i < r; i++ {
+		if !bytes.Equal(gotA[i], msgA) {
+			t.Fatalf("receiver %d: session A corrupted", i)
+		}
+		if !bytes.Equal(gotB[i], msgB) {
+			t.Fatalf("receiver %d: session B corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package core implements the paper's reliable multicast protocols as
+// event-driven state machines:
+//
+//   - NP (Section 5.1): integrated FEC/ARQ. Data is sent in transmission
+//     groups of k packets; after each round the sender polls the receivers,
+//     which multicast slotted-and-damped NAKs carrying only the NUMBER of
+//     packets they still miss; the sender answers a round's worst deficit l
+//     with l Reed-Solomon parities, each of which can repair a different
+//     loss at every receiver.
+//   - N2 (Towsley/Kurose/Pingali): the ARQ-only baseline. Receivers NAK
+//     individual sequence numbers and the sender re-multicasts the
+//     original packets.
+//
+// The engines are single-threaded and environment-agnostic: they interact
+// with the world only through the Env interface, implemented by
+// *simnet.Node (deterministic virtual time, simulated loss) and by
+// udpcast.Conn (real UDP multicast). All callbacks of one engine must be
+// invoked serially.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env abstracts time, randomness and the multicast medium.
+type Env interface {
+	// Now returns the current time (virtual or wall-clock).
+	Now() time.Duration
+	// Multicast sends a data-plane packet to the session's group.
+	Multicast(b []byte) error
+	// MulticastControl sends a control packet (POLL/NAK/FIN). Transports
+	// may treat control traffic preferentially; it is correct to implement
+	// this as plain Multicast.
+	MulticastControl(b []byte) error
+	// After schedules fn once after d and returns a cancel function.
+	After(d time.Duration, fn func()) (cancel func())
+	// Rand returns the engine's private randomness (NAK slot jitter).
+	Rand() *rand.Rand
+}
+
+// Config parameterises a transfer session. The zero value is not valid;
+// fill in at least K and ShardSize, then call Validate (or rely on the
+// constructors, which apply Defaults first).
+type Config struct {
+	Session   uint32 // session identifier carried in every packet
+	K         int    // transmission group size (data packets per TG)
+	MaxParity int    // h: parities encodable per TG; defaults to min(4*K, field limit)
+	Proactive int    // a: parities multicast with round 1 before any NAK
+	ShardSize int    // bytes per packet payload
+
+	Delta       time.Duration // pacing between consecutive transmissions
+	Ts          time.Duration // NAK slot width for slotting and damping
+	RetryBase   time.Duration // receiver re-NAK timeout while unserved
+	FinInterval time.Duration // gap between FIN repeats
+	FinCount    int           // how many FINs the sender emits after data
+
+	// PreEncode computes every parity of every group before the first
+	// packet leaves — Fig 18's improvement (i), trading memory and startup
+	// latency for a sender that never encodes on the data path.
+	PreEncode bool
+	// Carousel selects the paper's "integrated FEC 1" variant: the
+	// Proactive parities stream right behind the data with NO per-group
+	// POLL; a receiver simply stops caring once it holds k packets. The
+	// FIN still doubles as a poll, so residual losses beyond the proactive
+	// budget are repaired by the normal NAK path as a backstop.
+	Carousel bool
+	// Adaptive replaces the static Proactive count with an EWMA of the
+	// repair deficits recent groups reported, so the sender learns the
+	// loss level and front-loads roughly the right amount of redundancy.
+	Adaptive bool
+	// MaxGroups bounds the transfer size in transmission groups (NP) or
+	// packets (N2). Receivers reject FIN/headers claiming more — without
+	// a bound a hostile FIN could make a receiver allocate state for 2^32
+	// groups. Default 1<<20.
+	MaxGroups int
+	// MaxNakSlots caps the slot index of the paper's NAK schedule
+	// [(s-l)Ts, (s-l+1)Ts]. The formula assumes small rounds; with large
+	// transmission groups an uncapped slot would delay low-deficit
+	// receivers by (k-l)*Ts — seconds. The cap keeps the "worst deficit
+	// answers first" ordering among the receivers that matter while
+	// bounding feedback latency. Default 16.
+	MaxNakSlots int
+}
+
+// Defaults fills unset fields with working values.
+func (c *Config) Defaults() {
+	if c.MaxParity == 0 {
+		c.MaxParity = 4 * c.K
+		if c.K <= 127 && c.MaxParity > 255-c.K {
+			// Stay within GF(2^8) when the group fits it.
+			c.MaxParity = 255 - c.K
+		}
+	}
+	if c.Delta == 0 {
+		c.Delta = time.Millisecond
+	}
+	if c.Ts == 0 {
+		c.Ts = 10 * time.Millisecond
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 250 * time.Millisecond
+	}
+	if c.FinInterval == 0 {
+		c.FinInterval = 100 * time.Millisecond
+	}
+	if c.FinCount == 0 {
+		c.FinCount = 5
+	}
+	if c.MaxGroups == 0 {
+		c.MaxGroups = 1 << 20
+	}
+	if c.MaxNakSlots == 0 {
+		c.MaxNakSlots = 16
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.K < 1 || c.K > 4096 {
+		return fmt.Errorf("core: K = %d, need 1..4096", c.K)
+	}
+	if c.MaxParity < 0 || c.K+c.MaxParity > 65535 {
+		return fmt.Errorf("core: MaxParity = %d with K = %d exceeds block limit", c.MaxParity, c.K)
+	}
+	if c.Proactive < 0 || c.Proactive > c.MaxParity {
+		return fmt.Errorf("core: Proactive = %d out of [0, MaxParity=%d]", c.Proactive, c.MaxParity)
+	}
+	if c.ShardSize < 1 || c.ShardSize > 65000 {
+		return fmt.Errorf("core: ShardSize = %d, need 1..65000", c.ShardSize)
+	}
+	if c.Delta <= 0 || c.Ts <= 0 || c.RetryBase <= 0 || c.FinInterval <= 0 {
+		return fmt.Errorf("core: non-positive timing in %+v", *c)
+	}
+	if c.FinCount < 1 {
+		return fmt.Errorf("core: FinCount = %d", c.FinCount)
+	}
+	if c.MaxGroups < 1 {
+		return fmt.Errorf("core: MaxGroups = %d", c.MaxGroups)
+	}
+	if c.MaxNakSlots < 1 {
+		return fmt.Errorf("core: MaxNakSlots = %d", c.MaxNakSlots)
+	}
+	return nil
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("core: engine closed")
+
+// ErrBusy is returned when Send is called while a transfer is in progress.
+var ErrBusy = errors.New("core: transfer already in progress")

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+
+	"rmfec/internal/packet"
+)
+
+// ReceiverStats counts the receiver's protocol activity.
+type ReceiverStats struct {
+	DataRx     int // data shards received (first copies)
+	ParityRx   int // parity shards received (first copies)
+	DupRx      int // duplicate shards
+	Decodes    int // TGs that needed Reed-Solomon reconstruction
+	NakTx      int // NAKs multicast
+	NakSupp    int // NAK timers damped by another receiver's NAK
+	PollRx     int // POLLs seen
+	Reassembly int // 1 once the message was delivered
+
+	// Group recovery latency: time from a group's first received shard to
+	// its reconstruction. The paper leaves FEC's latency benefits to
+	// future work; these counters quantify them on the live stack.
+	LatencySum time.Duration // summed over recovered groups
+	LatencyMax time.Duration
+	Groups     int // groups recovered (the latency sample count)
+}
+
+// MeanLatency returns the average group recovery latency.
+func (st ReceiverStats) MeanLatency() time.Duration {
+	if st.Groups == 0 {
+		return 0
+	}
+	return st.LatencySum / time.Duration(st.Groups)
+}
+
+// Receiver is the NP protocol receiver. It buffers the shards of each
+// transmission group, answers sender POLLs with slotted/damped NAKs
+// carrying its remaining deficit, reconstructs each group from any k
+// shards, and delivers the reassembled message through the OnComplete
+// callback.
+type Receiver struct {
+	env  Env
+	cfg  Config
+	code erasureCodec
+
+	groups   map[uint32]*rxGroup
+	totalTG  int    // -1 until learned from a packet
+	msgLen   uint64 // valid once a FIN arrived
+	sawFin   bool
+	decoded  int
+	complete bool
+	closed   bool
+
+	// OnComplete is invoked exactly once with the reassembled message.
+	OnComplete func(msg []byte)
+	// OnGroup, if set, is invoked for every group as it becomes decodable,
+	// with the group index and its k data shards (valid until return).
+	OnGroup func(g uint32, shards [][]byte)
+
+	stats ReceiverStats
+}
+
+type rxGroup struct {
+	shards     [][]byte // len k+MaxParity; nil = not received
+	have       int      // shards present
+	firstAt    time.Duration
+	sawShard   bool
+	done       bool
+	nakCancel  func()
+	nakArmed   bool
+	heardNak   int // largest deficit heard from another receiver this round
+	retryCount int
+}
+
+// NewReceiver creates an NP receiver. cfg must agree with the sender's on
+// Session, K, MaxParity and ShardSize.
+func NewReceiver(env Env, cfg Config) (*Receiver, error) {
+	cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	code, err := newCodec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{
+		env:     env,
+		cfg:     cfg,
+		code:    code,
+		groups:  make(map[uint32]*rxGroup),
+		totalTG: -1,
+	}, nil
+}
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Complete reports whether the full message has been delivered.
+func (r *Receiver) Complete() bool { return r.complete }
+
+// Close stops the receiver and cancels pending NAK timers.
+func (r *Receiver) Close() {
+	r.closed = true
+	for _, g := range r.groups {
+		if g.nakCancel != nil {
+			g.nakCancel()
+		}
+	}
+}
+
+func (r *Receiver) group(idx uint32) *rxGroup {
+	g, ok := r.groups[idx]
+	if !ok {
+		g = &rxGroup{shards: make([][]byte, r.cfg.K+r.cfg.MaxParity)}
+		r.groups[idx] = g
+	}
+	return g
+}
+
+// HandlePacket feeds an incoming wire packet to the engine.
+func (r *Receiver) HandlePacket(wire []byte) {
+	if r.closed || r.complete {
+		return
+	}
+	pkt, err := packet.Decode(wire)
+	if err != nil || pkt.Session != r.cfg.Session {
+		return
+	}
+	switch pkt.Type {
+	case packet.TypeData, packet.TypeParity:
+		r.onShard(pkt)
+	case packet.TypePoll:
+		r.onPoll(pkt)
+	case packet.TypeNak:
+		r.onNak(pkt)
+	case packet.TypeFin:
+		r.onFin(pkt)
+	}
+}
+
+func (r *Receiver) noteTotal(total uint32) {
+	if total > 0 && r.totalTG < 0 && int64(total) <= int64(r.cfg.MaxGroups) {
+		r.totalTG = int(total)
+	}
+}
+
+func (r *Receiver) onShard(pkt *packet.Packet) {
+	if int(pkt.K) != r.cfg.K {
+		return // foreign or misconfigured sender
+	}
+	if int64(pkt.Group) >= int64(r.cfg.MaxGroups) {
+		return // beyond any transfer this receiver would accept
+	}
+	r.noteTotal(pkt.Total)
+	g := r.group(pkt.Group)
+	if g.done {
+		return
+	}
+	idx := int(pkt.Seq)
+	if idx >= len(g.shards) || len(pkt.Payload) != r.cfg.ShardSize {
+		return
+	}
+	if g.shards[idx] != nil {
+		r.stats.DupRx++
+		return
+	}
+	g.shards[idx] = pkt.Payload // Decode already copied
+	g.have++
+	if !g.sawShard {
+		g.sawShard = true
+		g.firstAt = r.env.Now()
+	}
+	if pkt.Type == packet.TypeData {
+		r.stats.DataRx++
+	} else {
+		r.stats.ParityRx++
+	}
+	if g.have >= r.cfg.K {
+		r.finishGroup(pkt.Group, g)
+	}
+	r.maybeComplete()
+}
+
+func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
+	needsDecode := false
+	for i := 0; i < r.cfg.K; i++ {
+		if g.shards[i] == nil {
+			needsDecode = true
+			break
+		}
+	}
+	if needsDecode {
+		if err := r.code.Reconstruct(g.shards); err != nil {
+			return // cannot happen with have >= k; stay incomplete
+		}
+		r.stats.Decodes++
+	}
+	g.done = true
+	r.decoded++
+	if g.sawShard {
+		lat := r.env.Now() - g.firstAt
+		r.stats.LatencySum += lat
+		if lat > r.stats.LatencyMax {
+			r.stats.LatencyMax = lat
+		}
+		r.stats.Groups++
+	}
+	if g.nakCancel != nil {
+		g.nakCancel()
+		g.nakCancel = nil
+		g.nakArmed = false
+	}
+	if r.OnGroup != nil {
+		r.OnGroup(idx, g.shards[:r.cfg.K])
+	}
+}
+
+// onPoll implements the paper's feedback rule: compute the deficit l and
+// schedule NAK(i,l) in slot [(s-l)Ts, (s-l+1)Ts] — receivers missing more
+// answer earlier — unless damped by an equal-or-larger NAK.
+func (r *Receiver) onPoll(pkt *packet.Packet) {
+	r.stats.PollRx++
+	if int64(pkt.Group) >= int64(r.cfg.MaxGroups) {
+		return
+	}
+	r.noteTotal(pkt.Total)
+	g := r.group(pkt.Group)
+	g.heardNak = 0 // new suppression round
+	r.armNak(pkt.Group, g, int(pkt.Count))
+}
+
+func (r *Receiver) deficit(g *rxGroup) int {
+	if g.done {
+		return 0
+	}
+	l := r.cfg.K - g.have
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+func (r *Receiver) armNak(idx uint32, g *rxGroup, roundSize int) {
+	l := r.deficit(g)
+	if l == 0 {
+		return
+	}
+	slot := roundSize - l
+	if slot < 0 {
+		slot = 0
+	}
+	if slot > r.cfg.MaxNakSlots {
+		slot = r.cfg.MaxNakSlots
+	}
+	delay := time.Duration(slot)*r.cfg.Ts +
+		time.Duration(r.env.Rand().Int63n(int64(r.cfg.Ts)))
+	if g.nakCancel != nil {
+		g.nakCancel()
+	}
+	g.nakArmed = true
+	g.nakCancel = r.env.After(delay, func() { r.fireNak(idx, g) })
+}
+
+func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
+	if r.closed || g.done {
+		return
+	}
+	g.nakArmed = false
+	l := r.deficit(g)
+	if l == 0 {
+		return
+	}
+	if g.heardNak >= l {
+		// Damped: someone already asked for at least as much. Re-check
+		// later in case the repair round is lost.
+		r.stats.NakSupp++
+	} else {
+		nak := packet.Packet{
+			Type:    packet.TypeNak,
+			Session: r.cfg.Session,
+			Group:   idx,
+			K:       uint16(r.cfg.K),
+			Count:   uint16(l),
+		}
+		r.env.MulticastControl(nak.MustEncode()) //nolint:errcheck // best-effort
+		r.stats.NakTx++
+	}
+	// Retry with linear backoff while the group stays incomplete.
+	g.retryCount++
+	backoff := r.cfg.RetryBase * time.Duration(min(g.retryCount, 8))
+	g.heardNak = 0
+	g.nakArmed = true
+	g.nakCancel = r.env.After(backoff, func() { r.fireNak(idx, g) })
+}
+
+// onNak handles another receiver's NAK for damping: hearing NAK(i,m) with
+// m >= own deficit suppresses the own pending NAK for that round.
+func (r *Receiver) onNak(pkt *packet.Packet) {
+	g, ok := r.groups[pkt.Group]
+	if !ok || g.done {
+		return
+	}
+	if int(pkt.Count) > g.heardNak {
+		g.heardNak = int(pkt.Count)
+	}
+}
+
+func (r *Receiver) onFin(pkt *packet.Packet) {
+	r.noteTotal(pkt.Total)
+	if len(pkt.Payload) >= 8 {
+		r.msgLen = binary.BigEndian.Uint64(pkt.Payload)
+		r.sawFin = true
+	}
+	if r.totalTG < 0 {
+		return
+	}
+	// The FIN doubles as a poll for every unfinished group, including
+	// groups we never saw a single packet of.
+	for i := 0; i < r.totalTG; i++ {
+		g := r.group(uint32(i))
+		if !g.done && !g.nakArmed {
+			r.armNak(uint32(i), g, r.cfg.K)
+		}
+	}
+	r.maybeComplete()
+}
+
+func (r *Receiver) maybeComplete() {
+	if r.complete || !r.sawFin || r.totalTG < 0 || r.decoded < r.totalTG {
+		return
+	}
+	msg := make([]byte, 0, r.totalTG*r.cfg.K*r.cfg.ShardSize)
+	for i := 0; i < r.totalTG; i++ {
+		g := r.groups[uint32(i)]
+		for j := 0; j < r.cfg.K; j++ {
+			msg = append(msg, g.shards[j]...)
+		}
+	}
+	if uint64(len(msg)) < r.msgLen {
+		return // inconsistent sender; refuse to deliver short data
+	}
+	msg = msg[:r.msgLen]
+	r.complete = true
+	r.stats.Reassembly = 1
+	r.Close()
+	if r.OnComplete != nil {
+		r.OnComplete(msg)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

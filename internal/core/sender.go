@@ -1,0 +1,418 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rmfec/internal/packet"
+)
+
+// SenderStats counts the sender's protocol activity; Parities/DataTx
+// directly measure the bandwidth metric E[M] of the paper:
+// E[M] = (DataTx + ParityTx) / (original data packets).
+type SenderStats struct {
+	DataTx    int // data packet transmissions (incl. exhaustion re-sends)
+	ParityTx  int // parity packet transmissions
+	PollTx    int // POLLs sent
+	FinTx     int // FINs sent
+	NakRx     int // NAKs received
+	NakServed int // NAKs that triggered a parity round
+	Encoded   int // parity shards actually encoded (0 extra if pre-encoded)
+}
+
+// Sender is the NP protocol sender: it multicasts a message as a series of
+// transmission groups, polls for per-TG feedback and repairs losses by
+// multicasting Reed-Solomon parities.
+type Sender struct {
+	env  Env
+	cfg  Config
+	code erasureCodec
+
+	groups []*txGroup
+	nextTG int     // next group to stream into the send queue
+	ewma   float64 // adaptive estimate of the per-TG repair need
+	msgLen uint64
+
+	// sendQ is the paced transmission queue. Parity service rounds are
+	// queued at the front ("the sender interrupts sending data packets of
+	// TGm, m > i"), data at the back.
+	sendQ   []outPkt
+	pumping bool
+	finLeft int
+	closed  bool
+	started bool
+
+	stats SenderStats
+}
+
+type txGroup struct {
+	index      uint32
+	data       [][]byte
+	parities   [][]byte // pre-encoded parity shards (PreEncode mode)
+	nextParity int      // next unsent parity index (0-based)
+	queued     int      // parities queued but not yet sent, for NAK aggregation
+	resendCur  int      // rotating data index for the parity-exhaustion fallback
+	maxNeed    int      // largest NAK deficit seen, feeds the adaptive EWMA
+}
+
+type outPkt struct {
+	wire    []byte
+	control bool
+	kind    packet.Type
+	// service marks a repair packet queued in response to a NAK; tg is the
+	// group it repairs. tg.queued is decremented when the packet leaves,
+	// so NAK aggregation only suppresses repairs that are still queued.
+	service bool
+	tg      *txGroup
+}
+
+// NewSender creates an NP sender on env. The configuration is defaulted
+// and validated.
+func NewSender(env Env, cfg Config) (*Sender, error) {
+	cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	code, err := newCodec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sender{env: env, cfg: cfg, code: code}, nil
+}
+
+// Stats returns a snapshot of the sender's counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Groups returns the number of transmission groups of the current message.
+func (s *Sender) Groups() int { return len(s.groups) }
+
+// Close stops the sender; queued packets are dropped.
+func (s *Sender) Close() {
+	s.closed = true
+	s.sendQ = nil
+}
+
+// Send starts the reliable multicast transfer of msg. It must be called at
+// most once per Sender; the transfer then proceeds through the Env's timers
+// until every NAK has been served and FinCount FINs have been multicast.
+func (s *Sender) Send(msg []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.started {
+		return ErrBusy
+	}
+	s.started = true
+	s.msgLen = uint64(len(msg))
+
+	perTG := s.cfg.K * s.cfg.ShardSize
+	nTG := (len(msg) + perTG - 1) / perTG
+	if nTG == 0 {
+		nTG = 1
+	}
+	if nTG > s.cfg.MaxGroups {
+		return fmt.Errorf("core: message needs %d TGs, exceeding MaxGroups = %d", nTG, s.cfg.MaxGroups)
+	}
+	s.groups = make([]*txGroup, nTG)
+	for g := range s.groups {
+		tg := &txGroup{index: uint32(g), data: make([][]byte, s.cfg.K)}
+		base := g * perTG
+		for i := 0; i < s.cfg.K; i++ {
+			shard := make([]byte, s.cfg.ShardSize)
+			off := base + i*s.cfg.ShardSize
+			if off < len(msg) {
+				copy(shard, msg[off:])
+			}
+			tg.data[i] = shard
+		}
+		if s.cfg.PreEncode {
+			// Fig 18's improvement (i): compute every parity before the
+			// transfer starts so encoding never competes with sending.
+			tg.parities = make([][]byte, s.cfg.MaxParity)
+			for j := range tg.parities {
+				p, err := s.code.EncodeParity(j, tg.data)
+				if err != nil {
+					return err
+				}
+				tg.parities[j] = p
+				s.stats.Encoded++
+			}
+		}
+		s.groups[g] = tg
+	}
+	s.ewma = float64(s.cfg.Proactive)
+	s.finLeft = s.cfg.FinCount
+	s.pump()
+	return nil
+}
+
+// proactiveFor returns the number of parities sent with a group's first
+// round: the static Config.Proactive, or the adaptive EWMA of recent
+// repair deficits when Config.Adaptive is set.
+func (s *Sender) proactiveFor() int {
+	if !s.cfg.Adaptive {
+		return s.cfg.Proactive
+	}
+	a := int(math.Ceil(s.ewma - 1e-9))
+	if a < 0 {
+		a = 0
+	}
+	if a > s.cfg.MaxParity/2 {
+		a = s.cfg.MaxParity / 2
+	}
+	return a
+}
+
+// refill streams the next transmission group's first round into the send
+// queue: k data packets, the proactive parities, and (except in carousel
+// mode) the POLL soliciting per-TG feedback. The FIN follows the last
+// group. Lazy streaming keeps memory proportional to one group and lets
+// the adaptive mode steer later groups with earlier groups' feedback.
+func (s *Sender) refill() {
+	if s.groups == nil || s.nextTG >= len(s.groups) {
+		return
+	}
+	tg := s.groups[s.nextTG]
+	s.nextTG++
+	if s.cfg.Adaptive {
+		// Gentle decay so the proactive level sinks again when the loss
+		// subsides; NAK arrivals (HandlePacket) push it back up.
+		s.ewma *= 0.97
+	}
+	for i := 0; i < s.cfg.K; i++ {
+		s.enqueue(s.dataPacket(tg, i), false)
+	}
+	a := s.proactiveFor()
+	for j := 0; j < a; j++ {
+		wire, err := s.parityPacket(tg)
+		if err != nil {
+			break // parity budget exhausted; the poll still goes out
+		}
+		s.enqueue(wire, false)
+	}
+	if !s.cfg.Carousel {
+		s.enqueuePoll(tg, s.cfg.K+a)
+	}
+	if s.nextTG == len(s.groups) {
+		s.enqueueFin()
+	}
+}
+
+// HandlePacket feeds an incoming wire packet (a NAK, in a sender's case)
+// to the engine. Non-NAK or foreign-session packets are ignored.
+func (s *Sender) HandlePacket(wire []byte) {
+	if s.closed {
+		return
+	}
+	pkt, err := packet.Decode(wire)
+	if err != nil || pkt.Session != s.cfg.Session {
+		return
+	}
+	if pkt.Type != packet.TypeNak {
+		return
+	}
+	s.stats.NakRx++
+	g := int(pkt.Group)
+	if g < 0 || g >= len(s.groups) {
+		return
+	}
+	tg := s.groups[g]
+	need := int(pkt.Count)
+	if need <= 0 {
+		return
+	}
+	if need > s.cfg.K {
+		// A receiver can never miss more than the k packets of a TG;
+		// larger values are corruption or hostility, so clamp rather than
+		// flood the group with repairs.
+		need = s.cfg.K
+	}
+	if need > tg.maxNeed {
+		tg.maxNeed = need
+	}
+	if s.cfg.Adaptive {
+		// Track the repair level: rise quickly on a worse deficit, sink
+		// slowly otherwise. NAKs are the only completion signal a
+		// NAK-based sender gets, so the EWMA is fed here rather than per
+		// finished group.
+		if f := float64(need); f > s.ewma {
+			s.ewma = 0.5*s.ewma + 0.5*f
+		} else {
+			s.ewma = 0.9*s.ewma + 0.1*f
+		}
+	}
+	// Aggregate with parities already queued for this TG but not yet sent:
+	// a second NAK for the same round must not double the repair traffic.
+	if need <= tg.queued {
+		return
+	}
+	extra := need - tg.queued
+	s.stats.NakServed++
+	s.serviceRound(tg, extra)
+}
+
+// serviceRound queues `extra` repair packets for tg at the FRONT of the
+// send queue, followed by a POLL, preempting data of later groups.
+func (s *Sender) serviceRound(tg *txGroup, extra int) {
+	var round []outPkt
+	for i := 0; i < extra; i++ {
+		if tg.nextParity < s.cfg.MaxParity {
+			wire, err := s.parityPacket(tg)
+			if err != nil {
+				// Cannot happen with validated config; drop the round.
+				return
+			}
+			round = append(round, outPkt{wire: wire, kind: packet.TypeParity, service: true, tg: tg})
+		} else {
+			// Parities exhausted: fall back to re-sending the originals
+			// (equivalent to regrouping the TG, Section 3.2). A rotating
+			// cursor guarantees every data packet is re-sent within K
+			// fallback transmissions, so any loss pattern is eventually
+			// repaired.
+			idx := tg.resendCur % s.cfg.K
+			tg.resendCur++
+			round = append(round, outPkt{wire: s.dataPacket(tg, idx), kind: packet.TypeData, service: true, tg: tg})
+		}
+	}
+	tg.queued += extra
+	pollWire := s.pollPacket(tg, extra)
+	round = append(round, outPkt{wire: pollWire, control: true, kind: packet.TypePoll})
+	s.sendQ = append(round, s.sendQ...)
+	s.pump()
+}
+
+func (s *Sender) enqueue(wire []byte, control bool) {
+	s.sendQ = append(s.sendQ, outPkt{wire: wire, control: control})
+}
+
+func (s *Sender) enqueuePoll(tg *txGroup, roundSize int) {
+	s.sendQ = append(s.sendQ, outPkt{wire: s.pollPacket(tg, roundSize), control: true, kind: packet.TypePoll})
+}
+
+func (s *Sender) enqueueFin() {
+	var payload [8]byte
+	binary.BigEndian.PutUint64(payload[:], s.msgLen)
+	p := packet.Packet{
+		Type:    packet.TypeFin,
+		Session: s.cfg.Session,
+		K:       uint16(s.cfg.K),
+		Total:   uint32(len(s.groups)),
+		Payload: payload[:],
+	}
+	s.sendQ = append(s.sendQ, outPkt{wire: p.MustEncode(), control: true, kind: packet.TypeFin})
+}
+
+func (s *Sender) dataPacket(tg *txGroup, i int) []byte {
+	p := packet.Packet{
+		Type:    packet.TypeData,
+		Session: s.cfg.Session,
+		Group:   tg.index,
+		Seq:     uint16(i),
+		K:       uint16(s.cfg.K),
+		Total:   uint32(len(s.groups)),
+		Payload: tg.data[i],
+	}
+	return p.MustEncode()
+}
+
+func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
+	j := tg.nextParity
+	var shard []byte
+	if tg.parities != nil {
+		if j >= len(tg.parities) {
+			return nil, fmt.Errorf("core: parity index %d beyond pre-encoded budget", j)
+		}
+		shard = tg.parities[j]
+	} else {
+		var err error
+		shard, err = s.code.EncodeParity(j, tg.data)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.Encoded++
+	}
+	tg.nextParity++
+	p := packet.Packet{
+		Type:    packet.TypeParity,
+		Session: s.cfg.Session,
+		Group:   tg.index,
+		Seq:     uint16(s.cfg.K + j),
+		K:       uint16(s.cfg.K),
+		Total:   uint32(len(s.groups)),
+		Payload: shard,
+	}
+	return p.MustEncode(), nil
+}
+
+func (s *Sender) pollPacket(tg *txGroup, roundSize int) []byte {
+	p := packet.Packet{
+		Type:    packet.TypePoll,
+		Session: s.cfg.Session,
+		Group:   tg.index,
+		K:       uint16(s.cfg.K),
+		Count:   uint16(roundSize),
+		Total:   uint32(len(s.groups)),
+	}
+	return p.MustEncode()
+}
+
+// pump drains the send queue at one packet per Delta.
+func (s *Sender) pump() {
+	if s.pumping || s.closed {
+		return
+	}
+	if len(s.sendQ) == 0 {
+		s.refill()
+	}
+	if len(s.sendQ) == 0 {
+		// Data and service rounds drained; keep repeating FIN so that
+		// receivers that lost it learn the transfer bounds.
+		if s.finLeft > 0 {
+			s.finLeft--
+			s.enqueueFin()
+			s.pumping = true
+			s.env.After(s.cfg.FinInterval, func() {
+				s.pumping = false
+				s.pump()
+			})
+		}
+		return
+	}
+	out := s.sendQ[0]
+	s.sendQ = s.sendQ[1:]
+	s.transmit(out)
+	s.pumping = true
+	s.env.After(s.cfg.Delta, func() {
+		s.pumping = false
+		s.pump()
+	})
+}
+
+func (s *Sender) transmit(out outPkt) {
+	kind := out.kind
+	if kind == 0 {
+		// Infer from wire for packets queued by Send.
+		if p, err := packet.Decode(out.wire); err == nil {
+			kind = p.Type
+		}
+	}
+	switch kind {
+	case packet.TypeData:
+		s.stats.DataTx++
+	case packet.TypeParity:
+		s.stats.ParityTx++
+	case packet.TypePoll:
+		s.stats.PollTx++
+	case packet.TypeFin:
+		s.stats.FinTx++
+	}
+	if out.service && out.tg != nil && out.tg.queued > 0 {
+		out.tg.queued--
+	}
+	if out.control {
+		s.env.MulticastControl(out.wire) //nolint:errcheck // best-effort datagrams
+		return
+	}
+	s.env.Multicast(out.wire) //nolint:errcheck // best-effort datagrams
+}

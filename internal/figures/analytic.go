@@ -1,0 +1,252 @@
+package figures
+
+import (
+	"fmt"
+
+	"rmfec/internal/model"
+)
+
+func init() {
+	register("fig3", fig3)
+	register("fig4", fig4)
+	register("fig5", fig5)
+	register("fig6", fig6)
+	register("fig7", fig7)
+	register("fig8", fig8)
+	register("fig9", fig9)
+	register("fig10", fig10)
+	register("fig17", fig17)
+	register("fig18", fig18)
+}
+
+const lossP = 0.01 // the loss probability of Figs 3-7, 9-12, 14-18
+
+func curveOverR(grid []int, f func(r int) float64) ([]float64, []float64) {
+	xs := make([]float64, len(grid))
+	ys := make([]float64, len(grid))
+	for i, r := range grid {
+		xs[i] = float64(r)
+		ys[i] = f(r)
+	}
+	return xs, ys
+}
+
+// fig3 and fig4: layered FEC vs no FEC for h = 2 and h = 7.
+func layeredFigure(id string, h int, opt Options) (*Figure, error) {
+	grid := receiverGrid(opt, 1_000_000)
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Influence of k on layered FEC, p = %g, h = %d", lossP, h),
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	x, y := curveOverR(grid, func(r int) float64 { return model.ExpectedTxNoFEC(r, lossP) })
+	fig.Series = append(fig.Series, Series{Name: "no FEC", X: x, Y: y})
+	for _, k := range []int{7, 20, 100} {
+		k := k
+		x, y := curveOverR(grid, func(r int) float64 { return model.ExpectedTxLayered(k, h, r, lossP) })
+		fig.Series = append(fig.Series, Series{Name: fmt.Sprintf("layered k=%d", k), X: x, Y: y})
+	}
+	return fig, nil
+}
+
+func fig3(opt Options) (*Figure, error) { return layeredFigure("fig3", 2, opt) }
+func fig4(opt Options) (*Figure, error) { return layeredFigure("fig4", 7, opt) }
+
+// fig5: no FEC vs layered vs the integrated lower bound, k = 7.
+func fig5(opt Options) (*Figure, error) {
+	grid := receiverGrid(opt, 1_000_000)
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Layered FEC versus integrated FEC, k = 7, p = 0.01",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	x, y := curveOverR(grid, func(r int) float64 { return model.ExpectedTxNoFEC(r, lossP) })
+	fig.Series = append(fig.Series, Series{Name: "no FEC", X: x, Y: y})
+	x, y = curveOverR(grid, func(r int) float64 { return model.ExpectedTxLayered(7, 2, r, lossP) })
+	fig.Series = append(fig.Series, Series{Name: "layered (7,9)", X: x, Y: y})
+	x, y = curveOverR(grid, func(r int) float64 { return model.ExpectedTxIntegrated(7, 0, r, lossP) })
+	fig.Series = append(fig.Series, Series{Name: "integrated", X: x, Y: y})
+	return fig, nil
+}
+
+// fig6: integrated FEC with finite parity budgets (7,8), (7,9), (7,10)
+// against the (7,inf) bound.
+func fig6(opt Options) (*Figure, error) {
+	grid := receiverGrid(opt, 1_000_000)
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Integrated FEC with k = 7 for different h, p = 0.01",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	x, y := curveOverR(grid, func(r int) float64 { return model.ExpectedTxNoFEC(r, lossP) })
+	fig.Series = append(fig.Series, Series{Name: "non-FEC", X: x, Y: y})
+	for _, h := range []int{1, 2, 3} {
+		h := h
+		x, y := curveOverR(grid, func(r int) float64 {
+			return model.ExpectedTxIntegratedFinite(7, h, 0, r, lossP)
+		})
+		fig.Series = append(fig.Series, Series{Name: fmt.Sprintf("(7,%d)", 7+h), X: x, Y: y})
+	}
+	x, y = curveOverR(grid, func(r int) float64 { return model.ExpectedTxIntegrated(7, 0, r, lossP) })
+	fig.Series = append(fig.Series, Series{Name: "(7,inf)", X: x, Y: y})
+	return fig, nil
+}
+
+// fig7: influence of k on idealized integrated FEC over R.
+func fig7(opt Options) (*Figure, error) {
+	grid := receiverGrid(opt, 1_000_000)
+	fig := &Figure{
+		ID:     "fig7",
+		Title:  "Influence of k on idealized integrated FEC, p = 0.01",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	x, y := curveOverR(grid, func(r int) float64 { return model.ExpectedTxNoFEC(r, lossP) })
+	fig.Series = append(fig.Series, Series{Name: "no FEC", X: x, Y: y})
+	for _, k := range []int{7, 20, 100} {
+		k := k
+		x, y := curveOverR(grid, func(r int) float64 { return model.ExpectedTxIntegrated(k, 0, r, lossP) })
+		fig.Series = append(fig.Series, Series{Name: fmt.Sprintf("integr. FEC k=%d", k), X: x, Y: y})
+	}
+	return fig, nil
+}
+
+// fig8: influence of the loss probability on integrated FEC, R = 1000.
+func fig8(opt Options) (*Figure, error) {
+	const r = 1000
+	ps := []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}
+	fig := &Figure{
+		ID:     "fig8",
+		Title:  "Influence of k on idealized integrated FEC, R = 1000",
+		XLabel: "packet loss probability p",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	mk := func(f func(p float64) float64) ([]float64, []float64) {
+		xs := make([]float64, len(ps))
+		ys := make([]float64, len(ps))
+		for i, p := range ps {
+			xs[i] = p
+			ys[i] = f(p)
+		}
+		return xs, ys
+	}
+	x, y := mk(func(p float64) float64 { return model.ExpectedTxNoFEC(r, p) })
+	fig.Series = append(fig.Series, Series{Name: "no FEC", X: x, Y: y})
+	for _, k := range []int{7, 20, 100} {
+		k := k
+		x, y := mk(func(p float64) float64 { return model.ExpectedTxIntegrated(k, 0, r, p) })
+		fig.Series = append(fig.Series, Series{Name: fmt.Sprintf("integr. FEC k=%d", k), X: x, Y: y})
+	}
+	return fig, nil
+}
+
+// heteroMix builds the two-class population of Section 3.3: a fraction
+// alpha of receivers at p = 0.25, the rest at p = 0.01.
+func heteroMix(r int, alpha float64) []model.Class {
+	high := int(alpha * float64(r))
+	return []model.Class{
+		{P: 0.01, Count: r - high},
+		{P: 0.25, Count: high},
+	}
+}
+
+// fig9: heterogeneous receivers without FEC.
+func fig9(opt Options) (*Figure, error) {
+	grid := receiverGrid(opt, 1_000_000)
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  "Reliable multicast for different heterogeneities without FEC",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	for _, alpha := range []float64{0, 0.01, 0.05, 0.25} {
+		alpha := alpha
+		x, y := curveOverR(grid, func(r int) float64 {
+			return model.ExpectedTxNoFECHetero(heteroMix(r, alpha))
+		})
+		fig.Series = append(fig.Series, Series{Name: fmt.Sprintf("high loss: %g%%", alpha*100), X: x, Y: y})
+	}
+	return fig, nil
+}
+
+// fig10: heterogeneous receivers with integrated FEC, k = 7.
+func fig10(opt Options) (*Figure, error) {
+	grid := receiverGrid(opt, 1_000_000)
+	fig := &Figure{
+		ID:     "fig10",
+		Title:  "Reliable multicast for different heterogeneities with integrated FEC (k=7)",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	for _, alpha := range []float64{0, 0.01, 0.05, 0.25} {
+		alpha := alpha
+		x, y := curveOverR(grid, func(r int) float64 {
+			return model.ExpectedTxIntegratedHetero(7, 0, heteroMix(r, alpha))
+		})
+		fig.Series = append(fig.Series, Series{Name: fmt.Sprintf("high loss: %g%%", alpha*100), X: x, Y: y})
+	}
+	return fig, nil
+}
+
+// fig17: sender/receiver processing rates of N2 and NP, k = 20, p = 0.01.
+func fig17(opt Options) (*Figure, error) {
+	grid := receiverGrid(opt, 1_000_000)
+	tm := opt.timing()
+	fig := &Figure{
+		ID:     "fig17",
+		Title:  "Processing rates at sender and receiver, N2 vs NP, k = 20, p = 0.01",
+		XLabel: "number of receivers R",
+		YLabel: "processing rate [pkts/msec]",
+		XLog:   true,
+	}
+	type curve struct {
+		name string
+		f    func(r int) float64
+	}
+	for _, c := range []curve{
+		{"N2 sender", func(r int) float64 { return model.N2Rates(r, lossP, tm).Send }},
+		{"N2 receiver", func(r int) float64 { return model.N2Rates(r, lossP, tm).Recv }},
+		{"NP sender", func(r int) float64 { return model.NPRates(20, r, lossP, tm, false).Send }},
+		{"NP receiver", func(r int) float64 { return model.NPRates(20, r, lossP, tm, false).Recv }},
+	} {
+		x, y := curveOverR(grid, c.f)
+		fig.Series = append(fig.Series, Series{Name: c.name, X: x, Y: y})
+	}
+	return fig, nil
+}
+
+// fig18: end-system throughput of N2 and NP with and without pre-encoding.
+func fig18(opt Options) (*Figure, error) {
+	grid := receiverGrid(opt, 1_000_000)
+	tm := opt.timing()
+	fig := &Figure{
+		ID:     "fig18",
+		Title:  "Throughput comparison, k = 20, p = 0.01",
+		XLabel: "number of receivers R",
+		YLabel: "throughput [pkts/msec]",
+		XLog:   true,
+	}
+	type curve struct {
+		name string
+		f    func(r int) float64
+	}
+	for _, c := range []curve{
+		{"N2", func(r int) float64 { return model.N2Rates(r, lossP, tm).Throughput }},
+		{"NP", func(r int) float64 { return model.NPRates(20, r, lossP, tm, false).Throughput }},
+		{"NP pre-encode", func(r int) float64 { return model.NPRates(20, r, lossP, tm, true).Throughput }},
+	} {
+		x, y := curveOverR(grid, c.f)
+		fig.Series = append(fig.Series, Series{Name: c.name, X: x, Y: y})
+	}
+	return fig, nil
+}

@@ -1,0 +1,211 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rmfec/internal/loss"
+	"rmfec/internal/model"
+	"rmfec/internal/sim"
+)
+
+func init() {
+	register("fig11", fig11)
+	register("fig12", fig12)
+	register("fig14", fig14)
+	register("fig15", fig15)
+	register("fig16", fig16)
+}
+
+// fbtDepths returns the tree heights simulated in Figs 11/12; the paper
+// uses d = 0..17 (R up to 131072).
+func fbtDepths(opt Options) []int {
+	maxD := 17
+	if opt.Quick {
+		maxD = 9
+	}
+	ds := make([]int, 0, maxD+1)
+	for d := 0; d <= maxD; d++ {
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// fig11: layered FEC (k=7, h=1) and no FEC under independent versus
+// full-binary-tree shared loss. Independent-loss curves come from the
+// closed forms (which the simulator is cross-validated against in tests);
+// shared-loss curves are simulated.
+func fig11(opt Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig11",
+		Title:  "Layered FEC, independent vs FBT shared loss, p = 0.01, k = 7, h = 1",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	depths := fbtDepths(opt)
+	var xs, noFECindep, layeredIndep, noFECfbt, layeredFbt []float64
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for _, d := range depths {
+		r := 1 << d
+		xs = append(xs, float64(r))
+		noFECindep = append(noFECindep, model.ExpectedTxNoFEC(r, lossP))
+		layeredIndep = append(layeredIndep, model.ExpectedTxLayered(7, 1, r, lossP))
+
+		n := opt.samplesFor(r)
+		tree := loss.NewFBT(d, lossP, rng)
+		noFECfbt = append(noFECfbt, sim.NoFEC(tree, sim.PaperTiming, n).Mean)
+		tree2 := loss.NewFBT(d, lossP, rng)
+		layeredFbt = append(layeredFbt, sim.Layered(tree2, 7, 1, sim.PaperTiming, n).Mean)
+	}
+	fig.Series = []Series{
+		{Name: "non-FEC indep. loss", X: xs, Y: noFECindep},
+		{Name: "layered FEC indep. loss", X: xs, Y: layeredIndep},
+		{Name: "non-FEC FBT loss", X: xs, Y: noFECfbt},
+		{Name: "layered FEC FBT loss", X: xs, Y: layeredFbt},
+	}
+	return fig, nil
+}
+
+// fig12: integrated FEC (k=7) under independent vs FBT shared loss.
+func fig12(opt Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig12",
+		Title:  "Integrated FEC, independent vs FBT shared loss, p = 0.01, k = 7",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	depths := fbtDepths(opt)
+	var xs, noFECindep, intIndep, noFECfbt, intFbt []float64
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	for _, d := range depths {
+		r := 1 << d
+		xs = append(xs, float64(r))
+		noFECindep = append(noFECindep, model.ExpectedTxNoFEC(r, lossP))
+		intIndep = append(intIndep, model.ExpectedTxIntegrated(7, 0, r, lossP))
+
+		n := opt.samplesFor(r)
+		tree := loss.NewFBT(d, lossP, rng)
+		noFECfbt = append(noFECfbt, sim.NoFEC(tree, sim.PaperTiming, n).Mean)
+		tree2 := loss.NewFBT(d, lossP, rng)
+		intFbt = append(intFbt, sim.Integrated2(tree2, 7, sim.PaperTiming, n).Mean)
+	}
+	fig.Series = []Series{
+		{Name: "non-FEC indep. loss", X: xs, Y: noFECindep},
+		{Name: "integrated FEC indep. loss", X: xs, Y: intIndep},
+		{Name: "non-FEC FBT loss", X: xs, Y: noFECfbt},
+		{Name: "integrated FEC FBT loss", X: xs, Y: intFbt},
+	}
+	return fig, nil
+}
+
+// fig14: distribution of consecutive losses at one receiver, Bernoulli vs
+// burst (mean length 2), p = 0.01, 25 pkt/s.
+func fig14(opt Options) (*Figure, error) {
+	packets := 1_000_000
+	if opt.Quick {
+		packets = 100_000
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 2))
+	bern := sim.BurstCensus(loss.NewBernoulli(lossP, rng), 0.040, packets)
+	markov := sim.BurstCensus(loss.NewMarkov(lossP, 2, 25, rng), 0.040, packets)
+
+	fig := &Figure{
+		ID:     "fig14",
+		Title:  "Burst length distribution, p = 0.01",
+		XLabel: "burst length [packets]",
+		YLabel: "occurrences",
+		YLog:   true,
+	}
+	toSeries := func(name string, h sim.BurstHistogram) Series {
+		s := Series{Name: name}
+		for _, l := range h.Lengths() {
+			s.X = append(s.X, float64(l))
+			s.Y = append(s.Y, float64(h[l]))
+		}
+		return s
+	}
+	fig.Series = []Series{
+		toSeries("no burst loss", bern),
+		toSeries("burst loss, b = 2", markov),
+	}
+	return fig, nil
+}
+
+// burstGrid is the receiver grid of Figs 15/16 (paper plots up to 10^4).
+func burstGrid(opt Options) []int {
+	grid := []int{1, 3, 10, 30, 100, 300, 1000, 3000, 10000}
+	if opt.Quick {
+		grid = []int{1, 10, 100, 1000}
+	}
+	return grid
+}
+
+// fig15: burst loss with layered FEC (7+1, 7+3) vs no FEC.
+func fig15(opt Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig15",
+		Title:  "Burst loss and FEC layer, p = 0.01, b = 2, T = 300 ms",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	grid := burstGrid(opt)
+	rng := rand.New(rand.NewSource(opt.Seed + 3))
+	mkPop := func(r int) loss.Population {
+		return loss.NewIndependentMarkov(r, lossP, 2, 25, rand.New(rand.NewSource(rng.Int63())))
+	}
+	var xs, noFEC, l1, l3 []float64
+	for _, r := range grid {
+		n := opt.samplesFor(r) * 4 // cheap per-sample; buy extra precision
+		xs = append(xs, float64(r))
+		noFEC = append(noFEC, sim.NoFEC(mkPop(r), sim.PaperTiming, n).Mean)
+		l1 = append(l1, sim.Layered(mkPop(r), 7, 1, sim.PaperTiming, n).Mean)
+		l3 = append(l3, sim.Layered(mkPop(r), 7, 3, sim.PaperTiming, n).Mean)
+	}
+	fig.Series = []Series{
+		{Name: "no FEC", X: xs, Y: noFEC},
+		{Name: "FEC layer (7+1)", X: xs, Y: l1},
+		{Name: "FEC layer (7+3)", X: xs, Y: l3},
+	}
+	return fig, nil
+}
+
+// fig16: burst loss with integrated FEC 1 and 2 for k = 7, 20, 100.
+func fig16(opt Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig16",
+		Title:  "Burst loss and integrated FEC, p = 0.01, b = 2",
+		XLabel: "number of receivers R",
+		YLabel: "transmissions E[M]",
+		XLog:   true,
+	}
+	grid := burstGrid(opt)
+	rng := rand.New(rand.NewSource(opt.Seed + 4))
+	mkPop := func(r int) loss.Population {
+		return loss.NewIndependentMarkov(r, lossP, 2, 25, rand.New(rand.NewSource(rng.Int63())))
+	}
+	var xs, noFEC []float64
+	curves := map[string][]float64{}
+	for _, r := range grid {
+		n := opt.samplesFor(r) * 2
+		xs = append(xs, float64(r))
+		noFEC = append(noFEC, sim.NoFEC(mkPop(r), sim.PaperTiming, n).Mean)
+		for _, k := range []int{7, 20, 100} {
+			nk := max(12, n/max(1, k/7)) // larger TGs cost more per group
+			i1 := sim.Integrated1(mkPop(r), k, sim.PaperTiming, nk).Mean
+			i2 := sim.Integrated2(mkPop(r), k, sim.PaperTiming, nk).Mean
+			curves[fmt.Sprintf("integrated FEC 1 k=%d", k)] = append(curves[fmt.Sprintf("integrated FEC 1 k=%d", k)], i1)
+			curves[fmt.Sprintf("integrated FEC 2 k=%d", k)] = append(curves[fmt.Sprintf("integrated FEC 2 k=%d", k)], i2)
+		}
+	}
+	fig.Series = append(fig.Series, Series{Name: "no FEC", X: xs, Y: noFEC})
+	for _, k := range []int{7, 20, 100} {
+		for _, v := range []int{1, 2} {
+			name := fmt.Sprintf("integrated FEC %d k=%d", v, k)
+			fig.Series = append(fig.Series, Series{Name: name, X: xs, Y: curves[name]})
+		}
+	}
+	return fig, nil
+}

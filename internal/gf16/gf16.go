@@ -1,0 +1,145 @@
+// Package gf16 implements arithmetic over GF(2^16).
+//
+// Section 2.2 of the paper notes that the RSE symbol size m must satisfy
+// n < 2^m and mentions hardware designs with m = 8 or m = 32. GF(2^8)
+// (package gf256) caps an FEC block at 256 packets; this field lifts the
+// limit to 65536, enabling the very large transmission groups that
+// Section 4.2 shows are the right answer to burst loss. Elements are
+// uint16; multiplication uses 512 KiB log/exp tables (a full product table
+// would need 8 GiB).
+package gf16
+
+import "fmt"
+
+// Poly is the primitive polynomial x^16+x^12+x^3+x+1 (0x1100B) generating
+// the field.
+const Poly = 0x1100B
+
+// Order is the number of field elements.
+const Order = 1 << 16
+
+const groupOrder = Order - 1 // order of the multiplicative group
+
+var (
+	expTbl [2 * groupOrder]uint16
+	logTbl [Order]int32
+)
+
+func init() {
+	x := 1
+	for i := 0; i < groupOrder; i++ {
+		expTbl[i] = uint16(x)
+		logTbl[x] = int32(i)
+		x <<= 1
+		if x&Order != 0 {
+			x ^= Poly
+		}
+	}
+	if x != 1 {
+		panic("gf16: 0x1100B is not primitive (table construction bug)")
+	}
+	for i := groupOrder; i < 2*groupOrder; i++ {
+		expTbl[i] = expTbl[i-groupOrder]
+	}
+	logTbl[0] = -1 // sentinel
+}
+
+// Add returns a+b (XOR).
+func Add(a, b uint16) uint16 { return a ^ b }
+
+// Mul returns the field product a*b.
+func Mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTbl[logTbl[a]+logTbl[b]]
+}
+
+// Div returns a/b; it panics if b is zero.
+func Div(a, b uint16) uint16 {
+	if b == 0 {
+		panic("gf16: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTbl[logTbl[a]-logTbl[b]+groupOrder]
+}
+
+// Inv returns the multiplicative inverse of a; it panics if a is zero.
+func Inv(a uint16) uint16 {
+	if a == 0 {
+		panic("gf16: inverse of zero")
+	}
+	return expTbl[groupOrder-logTbl[a]]
+}
+
+// Exp returns alpha^e for e >= 0, alpha the primitive element.
+func Exp(e int) uint16 {
+	if e < 0 {
+		panic("gf16: negative exponent")
+	}
+	return expTbl[e%groupOrder]
+}
+
+// Pow returns a^e; a^0 == 1 for every a.
+func Pow(a uint16, e int) uint16 {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	le := (int(logTbl[a]) * e) % groupOrder
+	if le < 0 {
+		le += groupOrder
+	}
+	return expTbl[le]
+}
+
+// MulAddSlice computes dst[i] ^= c*src[i] over uint16 symbols — the codec
+// kernel. The slices must have equal length.
+func MulAddSlice(c uint16, src, dst []uint16) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf16: MulAddSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+	default:
+		lc := logTbl[c]
+		for i, s := range src {
+			if s != 0 {
+				dst[i] ^= expTbl[lc+logTbl[s]]
+			}
+		}
+	}
+}
+
+// MulSlice sets dst[i] = c*src[i].
+func MulSlice(c uint16, src, dst []uint16) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf16: MulSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		lc := logTbl[c]
+		for i, s := range src {
+			if s == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = expTbl[lc+logTbl[s]]
+			}
+		}
+	}
+}

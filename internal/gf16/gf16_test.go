@@ -1,0 +1,210 @@
+package gf16
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTablesConsistent(t *testing.T) {
+	// Spot-check exp/log inversion across the whole group (checking all
+	// 65535 pairs both ways is cheap enough).
+	for i := 0; i < groupOrder; i++ {
+		v := Exp(i)
+		if v == 0 {
+			t.Fatalf("Exp(%d) = 0", i)
+		}
+		if int(logTbl[v]) != i {
+			t.Fatalf("log(Exp(%d)) = %d", i, logTbl[v])
+		}
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 4000}
+	if err := quick.Check(func(a, b, c uint16) bool {
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(a uint16) bool {
+		if Mul(a, 1) != a || Add(a, a) != 0 || Mul(a, 0) != 0 {
+			return false
+		}
+		if a != 0 {
+			if Mul(a, Inv(a)) != 1 || Div(a, a) != 1 {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesCarrylessReference(t *testing.T) {
+	ref := func(a, b uint16) uint16 {
+		var prod uint32
+		for i := 0; i < 16; i++ {
+			if b&(1<<i) != 0 {
+				prod ^= uint32(a) << i
+			}
+		}
+		for i := 31; i >= 16; i-- {
+			if prod&(1<<i) != 0 {
+				prod ^= uint32(Poly) << (i - 16)
+			}
+		}
+		return uint16(prod)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50000; trial++ {
+		a := uint16(rng.Intn(Order))
+		b := uint16(rng.Intn(Order))
+		if got, want := Mul(a, b), ref(a, b); got != want {
+			t.Fatalf("Mul(%#x,%#x) = %#x, want %#x", a, b, got, want)
+		}
+	}
+}
+
+func TestDivInverseOfMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20000; trial++ {
+		a := uint16(rng.Intn(Order))
+		b := uint16(rng.Intn(Order-1) + 1)
+		if Div(Mul(a, b), b) != a {
+			t.Fatalf("Div(Mul(%#x,%#x),%#x) != %#x", a, b, b, a)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a := uint16(rng.Intn(Order))
+		want := uint16(1)
+		for e := 0; e < 50; e++ {
+			if got := Pow(a, e); got != want {
+				t.Fatalf("Pow(%#x,%d) = %#x, want %#x", a, e, got, want)
+			}
+			want = Mul(want, a)
+		}
+	}
+	if Pow(0, 0) != 1 {
+		t.Error("0^0 should be 1")
+	}
+}
+
+func TestSliceKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		src := make([]uint16, n)
+		dst := make([]uint16, n)
+		for i := range src {
+			src[i] = uint16(rng.Intn(Order))
+			dst[i] = uint16(rng.Intn(Order))
+		}
+		c := uint16(rng.Intn(Order))
+		wantAdd := make([]uint16, n)
+		wantMul := make([]uint16, n)
+		for i := range src {
+			wantAdd[i] = dst[i] ^ Mul(c, src[i])
+			wantMul[i] = Mul(c, src[i])
+		}
+		gotAdd := append([]uint16(nil), dst...)
+		MulAddSlice(c, src, gotAdd)
+		gotMul := append([]uint16(nil), dst...)
+		MulSlice(c, src, gotMul)
+		for i := range src {
+			if gotAdd[i] != wantAdd[i] {
+				t.Fatalf("MulAddSlice(%#x) wrong at %d", c, i)
+			}
+			if gotMul[i] != wantMul[i] {
+				t.Fatalf("MulSlice(%#x) wrong at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"div0":     func() { Div(3, 0) },
+		"inv0":     func() { Inv(0) },
+		"exp neg":  func() { Exp(-1) },
+		"mismatch": func() { MulAddSlice(2, make([]uint16, 3), make([]uint16, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkGF16MulAddSlice(b *testing.B) {
+	src := make([]uint16, 512) // 1 KiB packet as uint16 symbols
+	dst := make([]uint16, 512)
+	rng := rand.New(rand.NewSource(5))
+	for i := range src {
+		src[i] = uint16(rng.Intn(Order))
+	}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x1234, src, dst)
+	}
+}
+
+func TestSliceKernelSpecialCoefficients(t *testing.T) {
+	src := []uint16{1, 0, 0xffff, 42}
+	dst := []uint16{9, 9, 9, 9}
+	// c = 0: MulAdd is a no-op, Mul zeroes.
+	d := append([]uint16(nil), dst...)
+	MulAddSlice(0, src, d)
+	for i := range d {
+		if d[i] != dst[i] {
+			t.Fatal("MulAddSlice(0) changed dst")
+		}
+	}
+	MulSlice(0, src, d)
+	for _, v := range d {
+		if v != 0 {
+			t.Fatal("MulSlice(0) did not zero dst")
+		}
+	}
+	// c = 1: MulAdd XORs, Mul copies.
+	d = append([]uint16(nil), dst...)
+	MulAddSlice(1, src, d)
+	for i := range d {
+		if d[i] != dst[i]^src[i] {
+			t.Fatal("MulAddSlice(1) != XOR")
+		}
+	}
+	MulSlice(1, src, d)
+	for i := range d {
+		if d[i] != src[i] {
+			t.Fatal("MulSlice(1) != copy")
+		}
+	}
+	// General c with zero symbols inside.
+	MulSlice(7, src, d)
+	if d[1] != 0 || d[0] != Mul(7, 1) {
+		t.Fatal("MulSlice(7) wrong on zero/one symbols")
+	}
+	if got := Pow(5, 3); got != Mul(5, Mul(5, 5)) {
+		t.Fatalf("Pow(5,3) = %#x", got)
+	}
+	if Pow(0, 5) != 0 {
+		t.Fatal("0^5 != 0")
+	}
+}

@@ -1,0 +1,187 @@
+// Package hostperf measures, on the current host, the timing constants
+// that parameterise the paper's Section-5 end-host models: the per-parity
+// encoding constant ce and per-packet decoding constant cd of the
+// Reed-Solomon coder, and the per-packet send/receive processing times of
+// the UDP stack. The authors measured the same constants on a DECstation
+// 5000/200 (model.PaperTiming); feeding measured constants into
+// model.NPRates/N2Rates reproduces Figs 17/18 for today's hardware.
+package hostperf
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"rmfec/internal/model"
+	"rmfec/internal/rse"
+)
+
+// measureWindow is how long each micro-measurement loop runs.
+const measureWindow = 40 * time.Millisecond
+
+// MeasureCoding returns the encoding and decoding constants (microseconds)
+// for packetSize-byte packets: producing one parity for a TG of size k
+// costs about k*ce, and reconstructing l lost packets costs about l*k*cd.
+// The constants are averaged over several k to wash out fixed overheads.
+func MeasureCoding(packetSize int) (ce, cd float64, err error) {
+	if packetSize < 1 {
+		return 0, 0, fmt.Errorf("hostperf: packetSize = %d", packetSize)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var ceSum, cdSum float64
+	ks := []int{10, 20, 40}
+	for _, k := range ks {
+		const h = 4
+		code, err := rse.New(k, h)
+		if err != nil {
+			return 0, 0, err
+		}
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, packetSize)
+			rng.Read(data[i])
+		}
+
+		// Encoding: one parity costs k*ce.
+		var buf []byte
+		iters := 0
+		start := time.Now()
+		var elapsed time.Duration
+		for elapsed < measureWindow {
+			buf, err = code.EncodeParity(iters%h, data, buf)
+			if err != nil {
+				return 0, 0, err
+			}
+			iters++
+			elapsed = time.Since(start)
+		}
+		perParity := elapsed.Seconds() * 1e6 / float64(iters)
+		ceSum += perParity / float64(k)
+
+		// Decoding: reconstructing l lost data packets costs l*k*cd.
+		parity := make([][]byte, h)
+		if err := code.Encode(data, parity); err != nil {
+			return 0, 0, err
+		}
+		const lose = 3
+		shards := make([][]byte, k+h)
+		iters = 0
+		start = time.Now()
+		elapsed = 0
+		for elapsed < measureWindow {
+			for i := 0; i < k; i++ {
+				if i < lose {
+					shards[i] = nil
+				} else {
+					shards[i] = data[i]
+				}
+			}
+			for j := 0; j < h; j++ {
+				shards[k+j] = parity[j]
+			}
+			if err := code.Reconstruct(shards); err != nil {
+				return 0, 0, err
+			}
+			iters++
+			elapsed = time.Since(start)
+		}
+		perDecode := elapsed.Seconds() * 1e6 / float64(iters)
+		cdSum += perDecode / float64(lose*k)
+	}
+	return ceSum / float64(len(ks)), cdSum / float64(len(ks)), nil
+}
+
+// MeasureUDP returns the per-packet processing time (microseconds) for
+// sending and receiving size-byte datagrams over the loopback interface —
+// the host-side Xp/Yp analogue of the paper's packet processing costs.
+func MeasureUDP(size int) (send, recv float64, err error) {
+	if size < 1 || size > 65000 {
+		return 0, 0, fmt.Errorf("hostperf: datagram size = %d", size)
+	}
+	rc, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return 0, 0, fmt.Errorf("hostperf: listen: %w", err)
+	}
+	defer rc.Close()
+	sc, err := net.DialUDP("udp4", nil, rc.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		return 0, 0, fmt.Errorf("hostperf: dial: %w", err)
+	}
+	defer sc.Close()
+	_ = rc.SetReadBuffer(4 << 20)
+
+	payload := make([]byte, size)
+	buf := make([]byte, size+64)
+
+	// Send cost: time WriteTo calls (kernel may drop under pressure; we
+	// only time the send path).
+	iters := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < measureWindow {
+		if _, err := sc.Write(payload); err != nil {
+			return 0, 0, fmt.Errorf("hostperf: send: %w", err)
+		}
+		iters++
+		elapsed = time.Since(start)
+	}
+	send = elapsed.Seconds() * 1e6 / float64(iters)
+
+	// Drain what is buffered, timing the receive path.
+	if err := rc.SetReadDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
+		return 0, 0, err
+	}
+	got := 0
+	start = time.Now()
+	for {
+		if _, _, err := rc.ReadFromUDP(buf); err != nil {
+			break // deadline: buffer drained
+		}
+		got++
+	}
+	if got == 0 {
+		return 0, 0, fmt.Errorf("hostperf: loopback delivered no datagrams")
+	}
+	// Subtract the trailing deadline wait.
+	recvElapsed := time.Since(start) - 200*time.Millisecond
+	if recvElapsed <= 0 {
+		recvElapsed = time.Millisecond
+	}
+	recv = recvElapsed.Seconds() * 1e6 / float64(got)
+	return send, recv, nil
+}
+
+// Timing measures a model.Timing for this host: coder constants from
+// MeasureCoding, packet costs from MeasureUDP with the paper's 2 KByte
+// data packets and 64-byte NAKs, and a measured timer-arming overhead. If
+// the loopback measurement fails (no network stack), the paper's packet
+// constants are retained and only the coder constants are replaced.
+func Timing() (model.Timing, error) {
+	tm := model.PaperTiming
+	ce, cd, err := MeasureCoding(2048)
+	if err != nil {
+		return tm, err
+	}
+	tm.Ce, tm.Cd = ce, cd
+
+	if send, recvT, err := MeasureUDP(2048); err == nil {
+		tm.Xp, tm.Yp = send, recvT
+	}
+	if sendN, recvN, err := MeasureUDP(64); err == nil {
+		tm.Xn, tm.Yn, tm.Yo = sendN, recvN, recvN
+	}
+
+	// Timer overhead: arming and cancelling a timer.
+	iters := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < measureWindow/4 {
+		t := time.AfterFunc(time.Hour, func() {})
+		t.Stop()
+		iters++
+		elapsed = time.Since(start)
+	}
+	tm.Yt = elapsed.Seconds() * 1e6 / float64(iters)
+	return tm, tm.Validate()
+}

@@ -1,0 +1,108 @@
+package loss
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FBT models the paper's shared-loss topology (Section 4.1): a full binary
+// tree of height d with the source at the root and the R = 2^d receivers at
+// the leaves. Every node of the tree — source, interior routers and leaves,
+// d+1 of them on each root-to-leaf path — drops a given packet
+// independently with probability PNode, and a drop anywhere on the path
+// loses the packet for the whole subtree below. PNode is derived from the
+// desired per-receiver loss probability p as
+//
+//	p = 1 - (1-PNode)^(d+1).
+//
+// There is no temporal correlation: every Draw is independent, so the dt
+// argument is ignored.
+type FBT struct {
+	Depth int     // tree height d; R = 2^d receivers
+	PNode float64 // per-node loss probability
+	r     int
+	nodes int // 2^(d+1) - 1
+	rng   *rand.Rand
+	// logq caches ln(1-PNode) for the geometric skip sampler.
+	logq float64
+}
+
+// NewFBT returns a shared-loss tree of height depth whose leaves each see
+// packet loss probability p.
+func NewFBT(depth int, p float64, rng *rand.Rand) *FBT {
+	if depth < 0 || depth > 30 {
+		panic(fmt.Sprintf("loss: FBT depth = %d", depth))
+	}
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("loss: FBT p = %g", p))
+	}
+	pnode := 1 - math.Pow(1-p, 1/float64(depth+1))
+	t := &FBT{
+		Depth: depth,
+		PNode: pnode,
+		r:     1 << depth,
+		nodes: 1<<(depth+1) - 1,
+		rng:   rng,
+	}
+	if pnode > 0 {
+		t.logq = math.Log1p(-pnode)
+	}
+	return t
+}
+
+// R implements Population.
+func (t *FBT) R() int { return t.r }
+
+// Reset implements Population (the tree is memoryless).
+func (t *FBT) Reset() {}
+
+// Draw implements Population: one multicast transmission through the tree.
+// Failed nodes are enumerated with geometric skip-sampling (expected cost
+// O(nodes*PNode) instead of one random number per node) and each failure
+// marks the leaf interval under that node.
+func (t *FBT) Draw(_ float64, lost []bool) {
+	if len(lost) != t.r {
+		panic(fmt.Sprintf("loss: Draw buffer %d != R %d", len(lost), t.r))
+	}
+	for i := range lost {
+		lost[i] = false
+	}
+	if t.PNode == 0 {
+		return
+	}
+	for idx := t.nextFailure(-1); idx < t.nodes; idx = t.nextFailure(idx) {
+		t.markSubtreeLeaves(idx, lost)
+	}
+}
+
+// nextFailure returns the smallest failed node index > prev, or t.nodes if
+// none: a geometric jump with success probability PNode.
+func (t *FBT) nextFailure(prev int) int {
+	// Geometric(PNode) number of non-failures before the next failure.
+	u := t.rng.Float64()
+	for u == 0 {
+		u = t.rng.Float64()
+	}
+	skip := int(math.Log(u) / t.logq) // floor; >= 0
+	next := prev + 1 + skip
+	if next < 0 || next > t.nodes { // overflow guard
+		return t.nodes
+	}
+	return next
+}
+
+// markSubtreeLeaves marks every leaf under node idx (heap order, root 0) as
+// lost. Level l = floor(log2(idx+1)); the subtree of a level-l node covers
+// 2^(Depth-l) consecutive leaves.
+func (t *FBT) markSubtreeLeaves(idx int, lost []bool) {
+	l := 0
+	for (1<<(l+1))-1 <= idx {
+		l++
+	}
+	pos := idx - ((1 << l) - 1)
+	width := 1 << (t.Depth - l)
+	for i := pos * width; i < (pos+1)*width; i++ {
+		lost[i] = true
+	}
+}

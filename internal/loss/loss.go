@@ -1,0 +1,189 @@
+// Package loss implements the packet-loss processes of the paper's
+// evaluation: spatially and temporally independent Bernoulli loss
+// (Section 3), two-state continuous-time Markov ("burst") loss fitted to
+// Bolot's Internet measurements (Section 4.2), and full-binary-tree shared
+// loss where one faulty node affects its whole subtree (Section 4.1).
+// All processes are deterministic functions of their seed, which keeps the
+// Monte-Carlo figures reproducible.
+package loss
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Process is a temporal loss process observed by a single receiver. A
+// multicast packet sent dt seconds after the previous one is lost with a
+// probability that may depend on the process state (burst loss) or not
+// (Bernoulli).
+type Process interface {
+	// Lost advances the process clock by dt seconds and reports whether a
+	// packet sent at the new instant is lost.
+	Lost(dt float64) bool
+	// Reset re-draws the initial (stationary) state.
+	Reset()
+}
+
+// Bernoulli is temporally independent loss with probability P.
+type Bernoulli struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewBernoulli returns an independent loss process with probability p.
+func NewBernoulli(p float64, rng *rand.Rand) *Bernoulli {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("loss: Bernoulli p = %g", p))
+	}
+	return &Bernoulli{P: p, rng: rng}
+}
+
+// Lost implements Process; dt is irrelevant for memoryless loss.
+func (b *Bernoulli) Lost(float64) bool { return b.rng.Float64() < b.P }
+
+// Reset implements Process (no state).
+func (b *Bernoulli) Reset() {}
+
+// Markov is the paper's two-state continuous-time Markov chain: state 0 =
+// no loss, state 1 = loss. A packet transmitted while the chain is in
+// state 1 is lost. The chain leaves state 0 at rate Lambda0 and state 1 at
+// rate Lambda1, giving stationary loss probability
+// pi1 = Lambda0/(Lambda0+Lambda1).
+type Markov struct {
+	Lambda0, Lambda1 float64
+	rate             float64 // Lambda0 + Lambda1
+	pi1              float64
+	state            int
+	rng              *rand.Rand
+}
+
+// NewMarkov builds the chain from the paper's parameters: target packet
+// loss probability p, mean burst length meanBurst (in packets, >= 1), and
+// packet sending rate pktRate (packets/second). Following Section 4.2,
+//
+//	Lambda1 = -pktRate * ln(1 - 1/meanBurst)   (exit rate from the loss state)
+//	Lambda0 = Lambda1 * p/(1-p)                (so that pi1 = p)
+//
+// which makes the run of consecutive lost packets at spacing 1/pktRate
+// geometric with mean meanBurst. meanBurst == 1 degenerates to Bernoulli
+// behaviour in the limit; use NewBernoulli for that case instead.
+func NewMarkov(p, meanBurst, pktRate float64, rng *rand.Rand) *Markov {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("loss: Markov p = %g, need 0 < p < 1", p))
+	}
+	if meanBurst <= 1 {
+		panic(fmt.Sprintf("loss: Markov meanBurst = %g, need > 1", meanBurst))
+	}
+	if pktRate <= 0 {
+		panic(fmt.Sprintf("loss: Markov pktRate = %g", pktRate))
+	}
+	l1 := -pktRate * math.Log(1-1/meanBurst)
+	l0 := l1 * p / (1 - p)
+	m := &Markov{Lambda0: l0, Lambda1: l1, rate: l0 + l1, pi1: p, rng: rng}
+	m.Reset()
+	return m
+}
+
+// Reset draws the state from the stationary distribution.
+func (m *Markov) Reset() {
+	if m.rng.Float64() < m.pi1 {
+		m.state = 1
+	} else {
+		m.state = 0
+	}
+}
+
+// State returns the current chain state (0 = good, 1 = loss).
+func (m *Markov) State() int { return m.state }
+
+// P11 returns P(X_{t+dt} = 1 | X_t = 1).
+func (m *Markov) P11(dt float64) float64 {
+	return m.pi1 + (1-m.pi1)*math.Exp(-m.rate*dt)
+}
+
+// P01 returns P(X_{t+dt} = 1 | X_t = 0).
+func (m *Markov) P01(dt float64) float64 {
+	return m.pi1 * (1 - math.Exp(-m.rate*dt))
+}
+
+// Lost advances the chain by dt and reports loss.
+func (m *Markov) Lost(dt float64) bool {
+	var pLoss float64
+	if m.state == 1 {
+		pLoss = m.P11(dt)
+	} else {
+		pLoss = m.P01(dt)
+	}
+	if m.rng.Float64() < pLoss {
+		m.state = 1
+		return true
+	}
+	m.state = 0
+	return false
+}
+
+// Population is a set of R receivers with a joint spatial loss draw: one
+// multicast transmission, one outcome per receiver.
+type Population interface {
+	// R returns the number of receivers.
+	R() int
+	// Draw advances every receiver by dt seconds and records in lost
+	// (length R) whether each receiver misses a packet sent now.
+	Draw(dt float64, lost []bool)
+	// Reset re-initialises all receiver state.
+	Reset()
+}
+
+// Independent is a Population of mutually independent per-receiver
+// processes (homogeneous or heterogeneous).
+type Independent struct {
+	procs []Process
+}
+
+// NewIndependent wraps per-receiver processes into a Population.
+func NewIndependent(procs []Process) *Independent {
+	if len(procs) == 0 {
+		panic("loss: empty population")
+	}
+	return &Independent{procs: procs}
+}
+
+// NewIndependentBernoulli builds a homogeneous Bernoulli population of r
+// receivers sharing one seeded source of randomness.
+func NewIndependentBernoulli(r int, p float64, rng *rand.Rand) *Independent {
+	procs := make([]Process, r)
+	for i := range procs {
+		procs[i] = NewBernoulli(p, rng)
+	}
+	return NewIndependent(procs)
+}
+
+// NewIndependentMarkov builds a homogeneous burst-loss population.
+func NewIndependentMarkov(r int, p, meanBurst, pktRate float64, rng *rand.Rand) *Independent {
+	procs := make([]Process, r)
+	for i := range procs {
+		procs[i] = NewMarkov(p, meanBurst, pktRate, rng)
+	}
+	return NewIndependent(procs)
+}
+
+// R implements Population.
+func (ip *Independent) R() int { return len(ip.procs) }
+
+// Draw implements Population.
+func (ip *Independent) Draw(dt float64, lost []bool) {
+	if len(lost) != len(ip.procs) {
+		panic(fmt.Sprintf("loss: Draw buffer %d != R %d", len(lost), len(ip.procs)))
+	}
+	for i, p := range ip.procs {
+		lost[i] = p.Lost(dt)
+	}
+}
+
+// Reset implements Population.
+func (ip *Independent) Reset() {
+	for _, p := range ip.procs {
+		p.Reset()
+	}
+}

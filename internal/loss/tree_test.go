@@ -1,0 +1,167 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTreeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := map[string][]TreeNode{
+		"empty":          {},
+		"root-parent":    {{Parent: 0, PNode: 0.1}},
+		"forward-parent": {{Parent: -1, PNode: 0.1}, {Parent: 2, PNode: 0.1}, {Parent: 0, PNode: 0.1}},
+		"bad-p":          {{Parent: -1, PNode: 1.5}},
+	}
+	for name, nodes := range cases {
+		if _, err := NewTree(nodes, rng); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := NewUniformTree(0, 3, 0.1, rng); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := NewUniformTree(2, 3, 1.0, rng); err == nil {
+		t.Error("p = 1 accepted")
+	}
+}
+
+func TestUniformTreeMatchesFBT(t *testing.T) {
+	// A degree-2 uniform tree is exactly the paper's FBT: same receiver
+	// count, same per-leaf marginal, statistically identical sharing.
+	const depth, p = 5, 0.05
+	rng := rand.New(rand.NewSource(2))
+	ut, err := NewUniformTree(2, depth, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbt := NewFBT(depth, p, rng)
+	if ut.R() != fbt.R() {
+		t.Fatalf("R: uniform %d vs FBT %d", ut.R(), fbt.R())
+	}
+	count := func(pop Population) (marginal, both float64) {
+		lost := make([]bool, pop.R())
+		const draws = 120000
+		var m, b int
+		for i := 0; i < draws; i++ {
+			pop.Draw(0, lost)
+			if lost[0] {
+				m++
+				if lost[1] {
+					b++
+				}
+			}
+		}
+		return float64(m) / draws, float64(b) / draws
+	}
+	mU, bU := count(ut)
+	mF, bF := count(fbt)
+	if math.Abs(mU-p) > 0.004 || math.Abs(mF-p) > 0.004 {
+		t.Errorf("marginals: uniform %g, FBT %g, want %g", mU, mF, p)
+	}
+	if math.Abs(bU-bF) > 0.004 {
+		t.Errorf("sibling joint loss: uniform %g vs FBT %g", bU, bF)
+	}
+}
+
+func TestStarTreeIsIndependent(t *testing.T) {
+	// A root with R direct leaf children and loss only at the leaves is
+	// exactly independent loss.
+	const r, p = 3, 0.2
+	nodes := []TreeNode{{Parent: -1, PNode: 0}}
+	for i := 0; i < r; i++ {
+		nodes = append(nodes, TreeNode{Parent: 0, PNode: p})
+	}
+	tree, err := NewTree(nodes, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.R() != r {
+		t.Fatalf("R = %d", tree.R())
+	}
+	lost := make([]bool, r)
+	var m0, joint int
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		tree.Draw(0, lost)
+		if lost[0] {
+			m0++
+			if lost[1] {
+				joint++
+			}
+		}
+	}
+	marginal := float64(m0) / draws
+	if math.Abs(marginal-p) > 0.005 {
+		t.Errorf("marginal = %g", marginal)
+	}
+	// Independence: P(1 lost | 0 lost) ~= p.
+	cond := float64(joint) / float64(m0)
+	if math.Abs(cond-p) > 0.02 {
+		t.Errorf("P(lost1|lost0) = %g, want %g (independent)", cond, p)
+	}
+}
+
+func TestChainTreeIsFullyShared(t *testing.T) {
+	// A chain root -> relay -> single leaf: the one receiver's loss equals
+	// 1-(1-p)^3 and, with a fan-out of two leaves under the same relay
+	// with p=0 at the leaves, both leaves always lose together.
+	nodes := []TreeNode{
+		{Parent: -1, PNode: 0.1}, // source
+		{Parent: 0, PNode: 0.1},  // relay
+		{Parent: 1, PNode: 0},    // leaf A
+		{Parent: 1, PNode: 0},    // leaf B
+	}
+	tree, err := NewTree(nodes, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := make([]bool, 2)
+	const draws = 100000
+	var lossCount, disagree int
+	for i := 0; i < draws; i++ {
+		tree.Draw(0, lost)
+		if lost[0] != lost[1] {
+			disagree++
+		}
+		if lost[0] {
+			lossCount++
+		}
+	}
+	if disagree != 0 {
+		t.Errorf("leaves under one lossy path disagreed %d times", disagree)
+	}
+	want := 1 - math.Pow(0.9, 2)
+	if got := float64(lossCount) / draws; math.Abs(got-want) > 0.005 {
+		t.Errorf("shared loss rate %g, want %g", got, want)
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	tree, err := NewTree([]TreeNode{{Parent: -1, PNode: 0.3}}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.R() != 1 {
+		t.Fatalf("R = %d", tree.R())
+	}
+	lost := make([]bool, 1)
+	var n int
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		tree.Draw(0, lost)
+		if lost[0] {
+			n++
+		}
+	}
+	if got := float64(n) / draws; math.Abs(got-0.3) > 0.006 {
+		t.Errorf("loss rate %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer accepted")
+		}
+	}()
+	tree.Draw(0, nil)
+}

@@ -1,0 +1,231 @@
+// Package model implements the closed-form performance models of
+// Nonnenmacher/Biersack/Towsley (SIGCOMM '97) for reliable multicast with
+// and without FEC: the expected number of transmissions per packet E[M]
+// under no FEC, layered FEC and integrated FEC (Section 3), their
+// heterogeneous-receiver extensions (Section 3.3), and the end-host
+// processing-rate and throughput models for the protocols N2 and NP
+// (Section 5 and the appendix).
+//
+// Every expectation is an infinite sum of complementary-CDF terms of the
+// form 1 - F(m)^R; these are evaluated through the numerically stable
+// primitives in internal/numeric so that populations up to R = 10^6 and
+// loss probabilities down to 10^-3 — the full ranges plotted in the paper —
+// lose no precision.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"rmfec/internal/numeric"
+)
+
+// Params bundles the homogeneous-case model parameters.
+type Params struct {
+	K int     // transmission group size (data packets per block)
+	H int     // parity packets per block; < 0 means unbounded (n = infinity)
+	A int     // proactive parities sent with round 1 (integrated FEC)
+	R int     // number of receivers
+	P float64 // per-receiver, per-packet loss probability
+}
+
+func checkKRP(k, r int, p float64) {
+	if k < 1 {
+		panic(fmt.Sprintf("model: k = %d, need k >= 1", k))
+	}
+	if r < 1 {
+		panic(fmt.Sprintf("model: R = %d, need R >= 1", r))
+	}
+	if math.IsNaN(p) || p < 0 || p >= 1 {
+		panic(fmt.Sprintf("model: p = %g, need 0 <= p < 1", p))
+	}
+}
+
+// Q returns q(k, n, p) of Eq. (2): the probability that a data packet of a
+// transmission group is still missing at the RM receiver after the FEC
+// layer has tried to recover it — i.e. the packet itself was lost AND at
+// least n-k of the other n-1 block packets were lost, leaving fewer than k
+// received packets and an undecodable block.
+func Q(k, n int, p float64) float64 {
+	if n < k {
+		panic(fmt.Sprintf("model: Q with n = %d < k = %d", n, k))
+	}
+	checkKRP(k, 1, p)
+	// P(J >= n-k) for J ~ Bin(n-1, p).
+	return p * numeric.BinomialTail(n-1, n-k, p)
+}
+
+// ExpectedTxNoFEC returns E[M] for pure ARQ: every receiver needs a
+// geometric number of transmissions and the sender retransmits until the
+// slowest receiver is served, so P(M <= i) = (1-p^i)^R.
+func ExpectedTxNoFEC(r int, p float64) float64 {
+	checkKRP(1, r, p)
+	return numeric.SumCCDF(0, func(i int) float64 {
+		return numeric.OneMinusPowR(numeric.PowN(p, i), r)
+	}, 0)
+}
+
+// ExpectedTxLayered returns E[M] of Eq. (3) for layered FEC with TG size k
+// and h parities (block size n = k+h): the per-data-packet retransmission
+// count under residual loss q(k,n,p), inflated by the constant parity
+// overhead n/k that the FEC layer adds to every group.
+func ExpectedTxLayered(k, h, r int, p float64) float64 {
+	checkKRP(k, r, p)
+	if h < 0 {
+		panic(fmt.Sprintf("model: layered FEC with h = %d", h))
+	}
+	n := k + h
+	q := Q(k, n, p)
+	em := numeric.SumCCDF(0, func(i int) float64 {
+		return numeric.OneMinusPowR(numeric.PowN(q, i), r)
+	}, 0)
+	return float64(n) / float64(k) * em
+}
+
+// lrTail returns P(Lr > m) for the integrated-FEC receiver: the probability
+// that after the k data packets, the a proactive parities and m additional
+// parities (k+a+m packets in total) the receiver has still received fewer
+// than k of them — equivalently more than a+m of the k+a+m packets were
+// lost. Summing the binomial upper tail directly keeps the tiny
+// probabilities that matter at R = 10^6 exact.
+func lrTail(k, a, m int, p float64) float64 {
+	return numeric.BinomialTail(k+a+m, a+m+1, p)
+}
+
+// ExpectedTxIntegrated returns the integrated-FEC lower bound E[M] of
+// Eq. (6) (unbounded parities, n = infinity): the sender answers each
+// feedback round with exactly the maximum number of parities any receiver
+// still needs, so the group completes after k+a+L transmissions where
+// P(L <= m) = P(Lr <= m)^R.
+func ExpectedTxIntegrated(k, a, r int, p float64) float64 {
+	checkKRP(k, r, p)
+	if a < 0 {
+		panic(fmt.Sprintf("model: integrated FEC with a = %d proactive parities", a))
+	}
+	el := numeric.SumCCDF(0, func(m int) float64 {
+		return numeric.OneMinusPowR(lrTail(k, a, m, p), r)
+	}, 0)
+	return (el + float64(k+a)) / float64(k)
+}
+
+// ExpectedTxIntegratedFinite returns E[M] for integrated FEC with a finite
+// FEC block of n = k+h packets (Section 3.2). The sender spends at most the
+// h coded parities on a group; data packets of groups that remain
+// undecodable at some receiver after all n packets re-enter a fresh group,
+// which happens per-packet with probability q(k,n,p). Hence
+//
+//	E[M] = (n/k)·(E[B]-1) + ( (k+a) + E[L | L <= h-a] )/k
+//
+// with B the number of blocks that carry the packet (distributed like the
+// layered M') and L the extra parities of the final, successful block.
+func ExpectedTxIntegratedFinite(k, h, a, r int, p float64) float64 {
+	checkKRP(k, r, p)
+	if h < 0 {
+		return ExpectedTxIntegrated(k, a, r, p)
+	}
+	if a < 0 || a > h {
+		panic(fmt.Sprintf("model: a = %d proactive parities out of [0,%d]", a, h))
+	}
+	n := k + h
+	q := Q(k, n, p)
+	ebMinus1 := numeric.SumCCDF(1, func(i int) float64 {
+		return numeric.OneMinusPowR(numeric.PowN(q, i), r)
+	}, 0)
+
+	// E[L | L <= c] where c = h-a, evaluated in log space: the conditional
+	// CDF P(L<=m)/P(L<=c) = exp(R·(log P(Lr<=m) - log P(Lr<=c))) stays
+	// meaningful even when P(L<=c) underflows for huge R.
+	c := h - a
+	logPLr := func(m int) float64 { return math.Log1p(-lrTail(k, a, m, p)) }
+	lc := logPLr(c)
+	var elCond float64
+	for m := 0; m < c; m++ {
+		elCond += -math.Expm1(float64(r) * (logPLr(m) - lc))
+	}
+	return float64(n)/float64(k)*ebMinus1 + (float64(k+a)+elCond)/float64(k)
+}
+
+// Class describes one homogeneous sub-population of receivers for the
+// heterogeneous models of Section 3.3.
+type Class struct {
+	P     float64 // per-packet loss probability of this class
+	Count int     // number of receivers in the class
+}
+
+func checkClasses(classes []Class) int {
+	total := 0
+	for _, c := range classes {
+		if c.Count < 0 {
+			panic(fmt.Sprintf("model: class with negative count %d", c.Count))
+		}
+		if math.IsNaN(c.P) || c.P < 0 || c.P >= 1 {
+			panic(fmt.Sprintf("model: class with p = %g", c.P))
+		}
+		total += c.Count
+	}
+	if total < 1 {
+		panic("model: heterogeneous population is empty")
+	}
+	return total
+}
+
+// ExpectedTxNoFECHetero generalises ExpectedTxNoFEC to a mixed population:
+// P(M <= i) = prod_c (1 - p_c^i)^{R_c}.
+func ExpectedTxNoFECHetero(classes []Class) float64 {
+	checkClasses(classes)
+	return numeric.SumCCDF(0, func(i int) float64 {
+		var lg float64
+		for _, c := range classes {
+			if c.Count == 0 {
+				continue
+			}
+			lg += float64(c.Count) * math.Log1p(-numeric.PowN(c.P, i))
+		}
+		return -math.Expm1(lg)
+	}, 0)
+}
+
+// ExpectedTxLayeredHetero returns Eq. (7): layered FEC over a mixed
+// population, each class with its own residual loss q(k,n,p_c).
+func ExpectedTxLayeredHetero(k, h int, classes []Class) float64 {
+	if k < 1 || h < 0 {
+		panic(fmt.Sprintf("model: layered hetero with k=%d h=%d", k, h))
+	}
+	checkClasses(classes)
+	n := k + h
+	qs := make([]float64, len(classes))
+	for i, c := range classes {
+		qs[i] = Q(k, n, c.P)
+	}
+	em := numeric.SumCCDF(0, func(i int) float64 {
+		var lg float64
+		for ci, c := range classes {
+			if c.Count == 0 {
+				continue
+			}
+			lg += float64(c.Count) * math.Log1p(-numeric.PowN(qs[ci], i))
+		}
+		return -math.Expm1(lg)
+	}, 0)
+	return float64(n) / float64(k) * em
+}
+
+// ExpectedTxIntegratedHetero returns the integrated-FEC lower bound over a
+// mixed population, Eq. (6) with Eq. (8): P(L <= m) = prod_r P(Lr <= m).
+func ExpectedTxIntegratedHetero(k, a int, classes []Class) float64 {
+	if k < 1 || a < 0 {
+		panic(fmt.Sprintf("model: integrated hetero with k=%d a=%d", k, a))
+	}
+	checkClasses(classes)
+	el := numeric.SumCCDF(0, func(m int) float64 {
+		var lg float64
+		for _, c := range classes {
+			if c.Count == 0 {
+				continue
+			}
+			lg += float64(c.Count) * math.Log1p(-lrTail(k, a, m, c.P))
+		}
+		return -math.Expm1(lg)
+	}, 0)
+	return (el + float64(k+a)) / float64(k)
+}

@@ -1,0 +1,401 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestQAgainstExhaustiveEnumeration(t *testing.T) {
+	// q(k,n,p) = P(packet 1 lost AND fewer than k of the n packets
+	// received), enumerated over all 2^n loss patterns.
+	for _, tc := range []struct {
+		k, n int
+		p    float64
+	}{
+		{3, 5, 0.1}, {7, 8, 0.01}, {4, 4, 0.2}, {1, 6, 0.3}, {5, 9, 0.5},
+	} {
+		var want float64
+		for mask := 0; mask < 1<<tc.n; mask++ {
+			if mask&1 == 0 {
+				continue // packet 1 not lost
+			}
+			lost := 0
+			for i := 0; i < tc.n; i++ {
+				if mask&(1<<i) != 0 {
+					lost++
+				}
+			}
+			if tc.n-lost >= tc.k {
+				continue // block decodable
+			}
+			want += math.Pow(tc.p, float64(lost)) * math.Pow(1-tc.p, float64(tc.n-lost))
+		}
+		got := Q(tc.k, tc.n, tc.p)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("Q(%d,%d,%g) = %g, want %g", tc.k, tc.n, tc.p, got, want)
+		}
+	}
+}
+
+func TestQEdgeCases(t *testing.T) {
+	// No parities: q = p.
+	if got := Q(7, 7, 0.05); !almostEqual(got, 0.05, 1e-12) {
+		t.Errorf("Q(k,k,p) = %g, want p", got)
+	}
+	// p = 0: q = 0.
+	if got := Q(7, 10, 0); got != 0 {
+		t.Errorf("Q(.,.,0) = %g", got)
+	}
+	// More parities can only decrease q.
+	prev := 1.0
+	for h := 0; h <= 10; h++ {
+		q := Q(7, 7+h, 0.1)
+		if q > prev+1e-15 {
+			t.Errorf("q increased when adding parity %d: %g > %g", h, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestNoFECSingleReceiverGeometric(t *testing.T) {
+	for _, p := range []float64{0, 0.01, 0.25, 0.9} {
+		if got, want := ExpectedTxNoFEC(1, p), 1/(1-p); !almostEqual(got, want, 1e-9) {
+			t.Errorf("E[M](R=1,p=%g) = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestNoFECTwoReceiversClosedForm(t *testing.T) {
+	// E[max(G1,G2)] = E[G1]+E[G2]-E[min] with min geometric of prob 1-p^2:
+	// E[M] = 2/(1-p) - 1/(1-p^2).
+	p := 0.2
+	want := 2/(1-p) - 1/(1-p*p)
+	if got := ExpectedTxNoFEC(2, p); !almostEqual(got, want, 1e-9) {
+		t.Errorf("E[M](R=2) = %g, want %g", got, want)
+	}
+}
+
+func TestNoFECMonotoneInR(t *testing.T) {
+	prev := 0.0
+	for _, r := range []int{1, 2, 10, 100, 10000, 1000000} {
+		em := ExpectedTxNoFEC(r, 0.01)
+		if em < prev {
+			t.Errorf("E[M] decreased with R: %g after %g", em, prev)
+		}
+		if em < 1 {
+			t.Errorf("E[M] = %g < 1", em)
+		}
+		prev = em
+	}
+	// Paper's Fig 3: E[M] at p=0.01 reaches ~3.5-4 at R=10^6.
+	em := ExpectedTxNoFEC(1e6, 0.01)
+	if em < 3 || em > 4.5 {
+		t.Errorf("E[M](10^6, 0.01) = %g, want within [3,4.5] (Fig 3 shape)", em)
+	}
+}
+
+func TestLayeredZeroParityEqualsNoFEC(t *testing.T) {
+	for _, r := range []int{1, 10, 1000} {
+		a := ExpectedTxLayered(7, 0, r, 0.01)
+		b := ExpectedTxNoFEC(r, 0.01)
+		if !almostEqual(a, b, 1e-9) {
+			t.Errorf("layered h=0 (R=%d): %g != no-FEC %g", r, a, b)
+		}
+	}
+}
+
+func TestLayeredFigure3Shape(t *testing.T) {
+	// Fig 3 (h=2, p=0.01): for R=10^6, k=7 and k=20 beat no-FEC while
+	// k=100 with only 2 parities is worse than k=7; at R=1 all layered
+	// schemes pay the n/k overhead and exceed no-FEC.
+	p := 0.01
+	noFEC := ExpectedTxNoFEC(1e6, p)
+	l7 := ExpectedTxLayered(7, 2, 1e6, p)
+	l20 := ExpectedTxLayered(20, 2, 1e6, p)
+	l100 := ExpectedTxLayered(100, 2, 1e6, p)
+	if !(l7 < noFEC && l20 < noFEC) {
+		t.Errorf("layered k=7 (%g) and k=20 (%g) should beat no-FEC (%g) at R=10^6", l7, l20, noFEC)
+	}
+	if !(l100 > l7) {
+		t.Errorf("k=100 with h=2 (%g) should be worse than k=7 (%g)", l100, l7)
+	}
+	for _, k := range []int{7, 20, 100} {
+		one := ExpectedTxLayered(k, 2, 1, p)
+		noFEC1 := ExpectedTxNoFEC(1, p)
+		if one <= noFEC1 {
+			t.Errorf("layered k=%d at R=1 (%g) should exceed no-FEC (%g)", k, one, noFEC1)
+		}
+	}
+	// Fig 4 (h=7): k=100 becomes the best of the three in the 10^5 range.
+	h7k100 := ExpectedTxLayered(100, 7, 1e5, p)
+	h7k7 := ExpectedTxLayered(7, 7, 1e5, p)
+	h7k20 := ExpectedTxLayered(20, 7, 1e5, p)
+	if !(h7k100 < h7k7 && h7k100 < h7k20) {
+		t.Errorf("Fig 4 shape: k=100/h=7 (%g) should beat k=7 (%g) and k=20 (%g) at R=10^5",
+			h7k100, h7k7, h7k20)
+	}
+}
+
+func TestIntegratedK1EqualsNoFEC(t *testing.T) {
+	// With k=1 every parity is a retransmission of the single data packet,
+	// so the integrated bound degenerates to plain ARQ.
+	for _, r := range []int{1, 7, 500, 100000} {
+		a := ExpectedTxIntegrated(1, 0, r, 0.05)
+		b := ExpectedTxNoFEC(r, 0.05)
+		if !almostEqual(a, b, 1e-9) {
+			t.Errorf("integrated k=1 (R=%d): %g != no-FEC %g", r, a, b)
+		}
+	}
+}
+
+func TestIntegratedMonteCarlo(t *testing.T) {
+	// Cross-check the closed form against a direct simulation of the
+	// idealized protocol: total transmissions = max over receivers of the
+	// index of the k-th successfully received packet.
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct {
+		k, a, r int
+		p       float64
+	}{
+		{7, 0, 1, 0.1}, {7, 0, 20, 0.05}, {4, 2, 10, 0.2}, {20, 0, 5, 0.01}, {3, 1, 50, 0.3},
+	} {
+		const trials = 60000
+		var total float64
+		for tr := 0; tr < trials; tr++ {
+			maxNeed := tc.k + tc.a
+			for rcv := 0; rcv < tc.r; rcv++ {
+				got, sent := 0, 0
+				for got < tc.k {
+					sent++
+					if rng.Float64() >= tc.p {
+						got++
+					}
+				}
+				if sent < tc.k+tc.a {
+					sent = tc.k + tc.a // proactive packets are always sent
+				}
+				if sent > maxNeed {
+					maxNeed = sent
+				}
+			}
+			total += float64(maxNeed)
+		}
+		got := total / trials / float64(tc.k)
+		want := ExpectedTxIntegrated(tc.k, tc.a, tc.r, tc.p)
+		if math.Abs(got-want) > 0.03*want {
+			t.Errorf("integrated MC (k=%d,a=%d,R=%d,p=%g): sim %g vs model %g",
+				tc.k, tc.a, tc.r, tc.p, got, want)
+		}
+	}
+}
+
+func TestIntegratedFiniteConvergesToBound(t *testing.T) {
+	// Fig 6: for k=7, p=0.01, a handful of parities reaches the n=infinity
+	// lower bound. Larger h must approach the bound monotonically from
+	// above.
+	p, k := 0.01, 7
+	for _, r := range []int{100, 10000, 200000} {
+		bound := ExpectedTxIntegrated(k, 0, r, p)
+		prev := math.Inf(1)
+		for _, h := range []int{1, 2, 3, 5, 10, 30} {
+			em := ExpectedTxIntegratedFinite(k, h, 0, r, p)
+			if em < bound-1e-9 {
+				t.Errorf("finite h=%d R=%d: %g below the lower bound %g", h, r, em, bound)
+			}
+			// Monotone convergence in h holds once enough parities are
+			// available; in the crossover region (huge R, h in {1,2}) the
+			// model is genuinely non-monotone because a failed small block
+			// wastes fewer packets, so only check h >= 3 for monotonicity.
+			if h >= 3 && em > prev+1e-9 {
+				t.Errorf("finite h=%d R=%d: %g not decreasing (prev %g)", h, r, em, prev)
+			}
+			prev = em
+		}
+		if h30 := ExpectedTxIntegratedFinite(k, 30, 0, r, p); !almostEqual(h30, bound, 1e-6) {
+			t.Errorf("finite h=30 R=%d: %g should match bound %g", r, h30, bound)
+		}
+	}
+	// Negative h means unbounded.
+	if got, want := ExpectedTxIntegratedFinite(7, -1, 0, 100, p), ExpectedTxIntegrated(7, 0, 100, p); got != want {
+		t.Errorf("h<0: %g != %g", got, want)
+	}
+}
+
+func TestIntegratedFiniteFig6Shape(t *testing.T) {
+	// Fig 6: 3 extra parities (n=10) suffice to track the bound up to
+	// R ~ 10^5, while n=8 visibly exceeds it there.
+	p, k := 0.01, 7
+	r := 100000
+	bound := ExpectedTxIntegrated(k, 0, r, p)
+	n8 := ExpectedTxIntegratedFinite(k, 1, 0, r, p)
+	n10 := ExpectedTxIntegratedFinite(k, 3, 0, r, p)
+	if (n8-bound)/bound < 0.05 {
+		t.Errorf("n=8 at R=10^5 should clearly exceed the bound: %g vs %g", n8, bound)
+	}
+	if (n10-bound)/bound > 0.08 {
+		t.Errorf("n=10 at R=10^5 should be near the bound: %g vs %g", n10, bound)
+	}
+}
+
+func TestIntegratedFigure7And8Shape(t *testing.T) {
+	p := 0.01
+	// Fig 7: increasing k drives E[M] toward 1 even at R=10^6.
+	em7 := ExpectedTxIntegrated(7, 0, 1e6, p)
+	em20 := ExpectedTxIntegrated(20, 0, 1e6, p)
+	em100 := ExpectedTxIntegrated(100, 0, 1e6, p)
+	if !(em100 < em20 && em20 < em7) {
+		t.Errorf("Fig 7 ordering violated: %g, %g, %g", em7, em20, em100)
+	}
+	if em100 > 1.25 {
+		t.Errorf("integrated k=100 at 10^6 receivers = %g, want close to 1", em100)
+	}
+	noFEC := ExpectedTxNoFEC(1e6, p)
+	if em7 >= noFEC {
+		t.Errorf("integrated (%g) should beat no-FEC (%g)", em7, noFEC)
+	}
+	// Fig 8: at R=1000 the k=100 curve stays below 1.2 across p in
+	// [10^-3, 10^-1].
+	for _, pp := range []float64{0.001, 0.01, 0.1} {
+		if em := ExpectedTxIntegrated(100, 0, 1000, pp); em > 1.45 {
+			t.Errorf("Fig 8: integrated k=100 p=%g = %g, want < 1.45", pp, em)
+		}
+	}
+}
+
+func TestHeteroSingleClassMatchesHomogeneous(t *testing.T) {
+	classes := []Class{{P: 0.01, Count: 1000}}
+	if a, b := ExpectedTxNoFECHetero(classes), ExpectedTxNoFEC(1000, 0.01); !almostEqual(a, b, 1e-9) {
+		t.Errorf("hetero no-FEC %g != %g", a, b)
+	}
+	if a, b := ExpectedTxLayeredHetero(7, 2, classes), ExpectedTxLayered(7, 2, 1000, 0.01); !almostEqual(a, b, 1e-9) {
+		t.Errorf("hetero layered %g != %g", a, b)
+	}
+	if a, b := ExpectedTxIntegratedHetero(7, 0, classes), ExpectedTxIntegrated(7, 0, 1000, 0.01); !almostEqual(a, b, 1e-9) {
+		t.Errorf("hetero integrated %g != %g", a, b)
+	}
+}
+
+func TestHeteroZeroCountClassIgnored(t *testing.T) {
+	a := ExpectedTxIntegratedHetero(7, 0, []Class{{P: 0.01, Count: 100}, {P: 0.25, Count: 0}})
+	b := ExpectedTxIntegrated(7, 0, 100, 0.01)
+	if !almostEqual(a, b, 1e-9) {
+		t.Errorf("zero-count class changed the result: %g != %g", a, b)
+	}
+}
+
+func TestHeteroFigure9And10Shape(t *testing.T) {
+	// Figs 9/10: at R=10^6, 1% of receivers at p=0.25 roughly doubles E[M]
+	// relative to a pure p=0.01 population; the effect shrinks at R=100.
+	mix := func(r int, alpha float64) []Class {
+		high := int(alpha * float64(r))
+		return []Class{{P: 0.01, Count: r - high}, {P: 0.25, Count: high}}
+	}
+	baseBig := ExpectedTxNoFEC(1e6, 0.01)
+	with1pct := ExpectedTxNoFECHetero(mix(1e6, 0.01))
+	if with1pct < 1.6*baseBig {
+		t.Errorf("Fig 9: 1%% high-loss at R=10^6 should ~double E[M]: %g vs base %g", with1pct, baseBig)
+	}
+	baseSmall := ExpectedTxNoFEC(100, 0.01)
+	with1small := ExpectedTxNoFECHetero(mix(100, 0.01))
+	if (with1small-baseSmall)/baseSmall > 0.5 {
+		t.Errorf("Fig 9: at R=100 one high-loss receiver should matter less: %g vs %g", with1small, baseSmall)
+	}
+	// Integrated: same qualitative behaviour, and more sensitive in
+	// relative terms than no-FEC (paper's last observation in 3.3).
+	intBase := ExpectedTxIntegrated(7, 0, 1e6, 0.01)
+	intMix := ExpectedTxIntegratedHetero(7, 0, mix(1e6, 0.01))
+	if intMix < 1.5*intBase {
+		t.Errorf("Fig 10: integrated with 1%% high-loss %g vs base %g", intMix, intBase)
+	}
+	// More high-loss receivers, more transmissions.
+	prev := intBase
+	for _, alpha := range []float64{0.01, 0.05, 0.25} {
+		em := ExpectedTxIntegratedHetero(7, 0, mix(1e6, alpha))
+		if em < prev {
+			t.Errorf("Fig 10: E[M] should grow with alpha: %g after %g", em, prev)
+		}
+		prev = em
+	}
+}
+
+func TestPanicsOnBadInputs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"k=0":        func() { ExpectedTxLayered(0, 2, 10, 0.01) },
+		"R=0":        func() { ExpectedTxNoFEC(0, 0.01) },
+		"p=1":        func() { ExpectedTxNoFEC(10, 1) },
+		"p<0":        func() { ExpectedTxIntegrated(7, 0, 10, -0.1) },
+		"a<0":        func() { ExpectedTxIntegrated(7, -1, 10, 0.1) },
+		"h<0":        func() { ExpectedTxLayered(7, -1, 10, 0.1) },
+		"n<k":        func() { Q(7, 6, 0.1) },
+		"a>h finite": func() { ExpectedTxIntegratedFinite(7, 2, 3, 10, 0.1) },
+		"empty mix":  func() { ExpectedTxNoFECHetero(nil) },
+		"neg count":  func() { ExpectedTxNoFECHetero([]Class{{P: 0.1, Count: -1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestModelInvariantsQuick(t *testing.T) {
+	// Randomized sweep over the parameter space: the structural
+	// inequalities the paper's conclusions rest on must hold everywhere.
+	err := quick.Check(func(kRaw, hRaw uint8, rRaw uint32, pRaw uint16) bool {
+		k := int(kRaw%100) + 1
+		h := int(hRaw % 50)
+		r := int(rRaw%1_000_000) + 1
+		p := 0.001 + 0.3*float64(pRaw)/65535
+
+		q := Q(k, k+h, p)
+		if q < 0 || q > p+1e-15 {
+			t.Logf("q(k=%d,h=%d,p=%g) = %g out of [0,p]", k, h, p, q)
+			return false
+		}
+		noFEC := ExpectedTxNoFEC(r, p)
+		integ := ExpectedTxIntegrated(k, 0, r, p)
+		if integ < 1 || noFEC < 1 {
+			t.Logf("E[M] below 1: integ %g noFEC %g", integ, noFEC)
+			return false
+		}
+		if integ > noFEC+1e-9 {
+			t.Logf("integrated (%g) above no-FEC (%g) at k=%d R=%d p=%g", integ, noFEC, k, r, p)
+			return false
+		}
+		finite := ExpectedTxIntegratedFinite(k, h, 0, r, p)
+		if finite < integ-1e-9 {
+			t.Logf("finite h=%d (%g) below the bound (%g)", h, finite, integ)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelMonotoneInLossQuick(t *testing.T) {
+	err := quick.Check(func(pRaw uint16, rRaw uint16) bool {
+		p1 := 0.001 + 0.2*float64(pRaw)/65535
+		p2 := p1 * 1.5
+		if p2 >= 1 {
+			return true
+		}
+		r := int(rRaw%10000) + 1
+		return ExpectedTxNoFEC(r, p1) <= ExpectedTxNoFEC(r, p2)+1e-9 &&
+			ExpectedTxIntegrated(7, 0, r, p1) <= ExpectedTxIntegrated(7, 0, r, p2)+1e-9
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}

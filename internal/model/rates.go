@@ -1,0 +1,156 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"rmfec/internal/numeric"
+)
+
+// Timing holds the per-operation processing times (in microseconds) used by
+// the Section-5 end-host models. The zero value is not useful; start from
+// PaperTiming.
+type Timing struct {
+	Xp float64 // send-side processing of one data/parity packet
+	Xn float64 // send-side processing of one received NAK
+	Yp float64 // receive-side processing of one packet
+	Yn float64 // processing and transmission of a NAK at the receiver that sends it
+	Yo float64 // reception and processing of another receiver's NAK (E[Y'n])
+	Yt float64 // timer overhead per extra retransmission round
+	Ce float64 // encoding constant: one parity for a size-k TG costs k*Ce
+	Cd float64 // decoding constant: reconstructing one packet costs k*Cd
+}
+
+// PaperTiming reproduces the measurement constants of Section 5: 2 KByte
+// packets on a DECstation 5000/200 (packet processing from Towsley/Kurose/
+// Pingali) and Rizzo's coder constants measured by the authors.
+var PaperTiming = Timing{
+	Xp: 1000, Xn: 500,
+	Yp: 1000, Yn: 500, Yo: 500, Yt: 24,
+	Ce: 700, Cd: 720,
+}
+
+// Rates holds per-packet processing rates in packets per millisecond.
+type Rates struct {
+	Send       float64 // sender processing rate
+	Recv       float64 // receiver processing rate
+	Throughput float64 // min(Send, Recv), Eq. (9)
+}
+
+func ratesFromTimes(sendMicros, recvMicros float64) Rates {
+	r := Rates{Send: 1000 / sendMicros, Recv: 1000 / recvMicros}
+	r.Throughput = math.Min(r.Send, r.Recv)
+	return r
+}
+
+// geomCondMeanAbove2 returns P(X>2) and E[X|X>2]-2 for the geometric
+// per-receiver transmission count X with P(X <= m) = 1 - p^m.
+func geomCondMeanAbove2(p float64) (pGT2, condExcess float64) {
+	if p == 0 {
+		return 0, 0
+	}
+	eX := 1 / (1 - p)
+	p1 := 1 - p
+	p2 := p * (1 - p)
+	pGT2 = p * p
+	condExcess = (eX-p1-2*p2)/pGT2 - 2
+	return pGT2, condExcess
+}
+
+// N2Rates evaluates Eqs. (10)-(11): the per-packet processing rates of the
+// receiver-initiated, NAK-multicast ARQ protocol N2 of [18] for R receivers
+// and loss probability p.
+func N2Rates(r int, p float64, tm Timing) Rates {
+	checkKRP(1, r, p)
+	em := ExpectedTxNoFEC(r, p)
+	send := em*tm.Xp + (em-1)*tm.Xn
+
+	pGT2, condExcess := geomCondMeanAbove2(p)
+	rf := float64(r)
+	recv := em*(1-p)*tm.Yp +
+		(em-1)*(tm.Yn/rf+(rf-1)/rf*tm.Yo) +
+		pGT2*condExcess*tm.Yt
+	return ratesFromTimes(send, recv)
+}
+
+// npRounds returns E[T], P(Tr>2) and E[Tr|Tr>2]-2 for protocol NP, using
+// the round-count bound P(Tr <= m) = (1-p^m)^k from [19] (Eq. 17).
+func npRounds(k, r int, p float64) (eT, pTrGT2, condExcess float64) {
+	trCDF := func(m int) float64 {
+		if m < 1 {
+			return 0
+		}
+		return numeric.PowN(1-numeric.PowN(p, m), k)
+	}
+	eT = numeric.SumCCDF(0, func(m int) float64 {
+		// 1 - P(T<=m) with P(T<=m) = P(Tr<=m)^R, via logs for stability.
+		c := trCDF(m)
+		if c == 0 {
+			return 1
+		}
+		return -math.Expm1(float64(r) * math.Log(c))
+	}, 0)
+
+	eTr := numeric.SumCCDF(0, func(m int) float64 { return 1 - trCDF(m) }, 0)
+	p1 := trCDF(1)
+	p2 := trCDF(2) - trCDF(1)
+	pTrGT2 = 1 - trCDF(2)
+	if pTrGT2 > 0 {
+		condExcess = (eTr-p1-2*p2)/pTrGT2 - 2
+	}
+	return eT, pTrGT2, condExcess
+}
+
+// ExpectedRoundsNP returns E[T], the expected number of transmission
+// rounds (initial round plus parity rounds) protocol NP needs until every
+// one of r receivers can reconstruct a TG of size k, using the bound
+// P(Tr <= m) = (1-p^m)^k of Eq. (17). The paper notes this is an upper
+// bound because it lets each receiver consume exactly the parities it
+// asked for.
+func ExpectedRoundsNP(k, r int, p float64) float64 {
+	checkKRP(k, r, p)
+	eT, _, _ := npRounds(k, r, p)
+	return eT
+}
+
+// NPRates evaluates Eqs. (13)-(16): the per-packet processing rates of the
+// hybrid-ARQ protocol NP with TG size k. With preEncoded true the sender's
+// parity encoding cost E[Xe] is omitted (parities computed off-line and
+// stored, Section 5's improvement (i)).
+func NPRates(k, r int, p float64, tm Timing, preEncoded bool) Rates {
+	checkKRP(k, r, p)
+	em := ExpectedTxIntegrated(k, 0, r, p)
+	eT, pTrGT2, condExcess := npRounds(k, r, p)
+
+	send := em * tm.Xp
+	if !preEncoded {
+		send += float64(k) * (em - 1) * tm.Ce // Eq. (15)
+	}
+	send += (eT - 1) / float64(k) * tm.Xn
+
+	rf := float64(r)
+	recv := em*(1-p)*tm.Yp +
+		(eT-1)/float64(k)*(tm.Yn/rf+(rf-1)/rf*tm.Yo) +
+		pTrGT2*condExcess*tm.Yt +
+		float64(k)*p*tm.Cd // Eq. (16)
+	return ratesFromTimes(send, recv)
+}
+
+// Validate sanity-checks a Timing.
+func (tm Timing) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"Xp", tm.Xp}, {"Xn", tm.Xn}, {"Yp", tm.Yp}, {"Yn", tm.Yn},
+		{"Yo", tm.Yo}, {"Yt", tm.Yt}, {"Ce", tm.Ce}, {"Cd", tm.Cd},
+	} {
+		if v.val < 0 || math.IsNaN(v.val) {
+			return fmt.Errorf("model: timing constant %s = %g", v.name, v.val)
+		}
+	}
+	if tm.Xp == 0 || tm.Yp == 0 {
+		return fmt.Errorf("model: packet processing times must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks that Decode never panics on arbitrary bytes and that
+// everything it accepts re-encodes to an equivalent packet.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Packet{Type: TypeData, Payload: []byte("seed")}).MustEncode())
+	f.Add((&Packet{Type: TypeFin, Total: 9, Payload: make([]byte, 8)}).MustEncode())
+	f.Add([]byte{Magic, Version, byte(TypeNak), 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Decode(b)
+		if err != nil {
+			return
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+		p2, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		if p.Type != p2.Type || p.Session != p2.Session || p.Group != p2.Group ||
+			p.Seq != p2.Seq || p.K != p2.K || p.Count != p2.Count ||
+			p.Total != p2.Total || !bytes.Equal(p.Payload, p2.Payload) {
+			t.Fatal("decode/encode/decode not idempotent")
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package packet defines the wire format shared by the reliable-multicast
+// protocols NP (hybrid ARQ with parity retransmission) and N2 (ARQ with
+// original retransmission). A single fixed 24-byte header covers every
+// packet type; payload-bearing packets (DATA, PARITY) append their shard.
+//
+// Layout (big endian):
+//
+//	offset 0  : magic 'R' (0x52)
+//	offset 1  : version (1)
+//	offset 2  : type
+//	offset 3  : flags (reserved, 0)
+//	offset 4  : uint32 session id
+//	offset 8  : uint32 group  — TG index (NP) or global sequence number (N2)
+//	offset 12 : uint16 seq    — shard index inside the TG: data 0..k-1,
+//	                            parities k..n-1 (NP); unused for N2
+//	offset 14 : uint16 k      — TG size the sender is using
+//	offset 16 : uint16 count  — POLL: packets sent in the finished round (s)
+//	                            NAK:  packets still needed (l)
+//	offset 18 : uint16 payload length
+//	offset 20 : uint32 total  — FIN: number of TGs (NP) / packets (N2) in
+//	                            the transfer; 0 elsewhere
+//	offset 24 : payload
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Type enumerates the protocol packet types.
+type Type uint8
+
+// Packet types.
+const (
+	TypeInvalid Type = iota
+	TypeData         // an original data shard
+	TypeParity       // a parity shard for a TG
+	TypePoll         // sender solicits feedback for a TG round
+	TypeNak          // receiver reports packets still needed
+	TypeFin          // sender announces transfer size / end of new data
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeParity:
+		return "PARITY"
+	case TypePoll:
+		return "POLL"
+	case TypeNak:
+		return "NAK"
+	case TypeFin:
+		return "FIN"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Wire format constants.
+const (
+	Magic      = 0x52 // 'R'
+	Version    = 1
+	HeaderLen  = 24
+	MaxPayload = 1 << 16 // payload length field is uint16; 65535 usable
+)
+
+// Decoding errors.
+var (
+	ErrTooShort   = errors.New("packet: buffer shorter than header")
+	ErrBadMagic   = errors.New("packet: bad magic byte")
+	ErrBadVersion = errors.New("packet: unsupported version")
+	ErrBadType    = errors.New("packet: unknown packet type")
+	ErrTruncated  = errors.New("packet: payload truncated")
+	ErrOversize   = errors.New("packet: payload too large")
+)
+
+// Packet is the decoded form of a protocol packet. Group carries the TG
+// index for NP and the global sequence number for N2.
+type Packet struct {
+	Type    Type
+	Session uint32
+	Group   uint32
+	Seq     uint16
+	K       uint16
+	Count   uint16
+	Total   uint32
+	Payload []byte
+}
+
+// AppendEncode appends the wire encoding of p to dst and returns the
+// extended slice.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
+	if p.Type == TypeInvalid || p.Type > TypeFin {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, p.Type)
+	}
+	if len(p.Payload) >= MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, len(p.Payload))
+	}
+	var hdr [HeaderLen]byte
+	hdr[0] = Magic
+	hdr[1] = Version
+	hdr[2] = byte(p.Type)
+	binary.BigEndian.PutUint32(hdr[4:], p.Session)
+	binary.BigEndian.PutUint32(hdr[8:], p.Group)
+	binary.BigEndian.PutUint16(hdr[12:], p.Seq)
+	binary.BigEndian.PutUint16(hdr[14:], p.K)
+	binary.BigEndian.PutUint16(hdr[16:], p.Count)
+	binary.BigEndian.PutUint16(hdr[18:], uint16(len(p.Payload)))
+	binary.BigEndian.PutUint32(hdr[20:], p.Total)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, p.Payload...)
+	return dst, nil
+}
+
+// Encode returns the wire encoding of p in a fresh buffer.
+func (p *Packet) Encode() ([]byte, error) {
+	return p.AppendEncode(make([]byte, 0, HeaderLen+len(p.Payload)))
+}
+
+// MustEncode is Encode panicking on error, for statically valid packets.
+func (p *Packet) MustEncode() []byte {
+	b, err := p.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode parses a wire packet. The returned Packet owns a copy of the
+// payload, so the input buffer may be reused by the caller.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooShort, len(b))
+	}
+	if b[0] != Magic {
+		return nil, fmt.Errorf("%w: %#x", ErrBadMagic, b[0])
+	}
+	if b[1] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[1])
+	}
+	t := Type(b[2])
+	if t == TypeInvalid || t > TypeFin {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, b[2])
+	}
+	plen := int(binary.BigEndian.Uint16(b[18:]))
+	if len(b) < HeaderLen+plen {
+		return nil, fmt.Errorf("%w: have %d, want %d", ErrTruncated, len(b)-HeaderLen, plen)
+	}
+	p := &Packet{
+		Type:    t,
+		Session: binary.BigEndian.Uint32(b[4:]),
+		Group:   binary.BigEndian.Uint32(b[8:]),
+		Seq:     binary.BigEndian.Uint16(b[12:]),
+		K:       binary.BigEndian.Uint16(b[14:]),
+		Count:   binary.BigEndian.Uint16(b[16:]),
+		Total:   binary.BigEndian.Uint32(b[20:]),
+	}
+	if plen > 0 {
+		p.Payload = append([]byte(nil), b[HeaderLen:HeaderLen+plen]...)
+	}
+	return p, nil
+}
+
+// String renders a compact human-readable description for logging.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s sess=%d grp=%d seq=%d k=%d cnt=%d total=%d len=%d",
+		p.Type, p.Session, p.Group, p.Seq, p.K, p.Count, p.Total, len(p.Payload))
+}

@@ -1,0 +1,147 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := &Packet{
+		Type:    TypeParity,
+		Session: 0xdeadbeef,
+		Group:   42,
+		Seq:     9,
+		K:       7,
+		Count:   3,
+		Total:   100,
+		Payload: []byte("shard bytes"),
+	}
+	wire, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != HeaderLen+len(in.Payload) {
+		t.Fatalf("wire length %d", len(wire))
+	}
+	out, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Session != in.Session || out.Group != in.Group ||
+		out.Seq != in.Seq || out.K != in.K || out.Count != in.Count || out.Total != in.Total {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestDecodeCopiesPayload(t *testing.T) {
+	in := &Packet{Type: TypeData, Payload: []byte{1, 2, 3}}
+	wire := in.MustEncode()
+	out, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[HeaderLen] = 0xff
+	if out.Payload[0] != 1 {
+		t.Fatal("decoded payload aliases the wire buffer")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	err := quick.Check(func(typ uint8, sess, grp, total uint32, seq, k, cnt uint16, payload []byte) bool {
+		ty := Type(typ%5) + 1
+		if len(payload) >= MaxPayload {
+			payload = payload[:MaxPayload-1]
+		}
+		in := &Packet{Type: ty, Session: sess, Group: grp, Seq: seq, K: k,
+			Count: cnt, Total: total, Payload: payload}
+		wire, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.Session == in.Session &&
+			out.Group == in.Group && out.Seq == in.Seq && out.K == in.K &&
+			out.Count == in.Count && out.Total == in.Total &&
+			bytes.Equal(out.Payload, in.Payload)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := (&Packet{Type: TypeData, Payload: []byte("xy")}).MustEncode()
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"short", func(b []byte) []byte { return b[:HeaderLen-1] }, ErrTooShort},
+		{"magic", func(b []byte) []byte { b[0] = 0; return b }, ErrBadMagic},
+		{"version", func(b []byte) []byte { b[1] = 9; return b }, ErrBadVersion},
+		{"type zero", func(b []byte) []byte { b[2] = 0; return b }, ErrBadType},
+		{"type high", func(b []byte) []byte { b[2] = 99; return b }, ErrBadType},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-1] }, ErrTruncated},
+	}
+	for _, tc := range cases {
+		buf := append([]byte(nil), good...)
+		if _, err := Decode(tc.mut(buf)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := (&Packet{Type: TypeInvalid}).Encode(); !errors.Is(err, ErrBadType) {
+		t.Errorf("invalid type: %v", err)
+	}
+	if _, err := (&Packet{Type: Type(99)}).Encode(); !errors.Is(err, ErrBadType) {
+		t.Errorf("unknown type: %v", err)
+	}
+	big := &Packet{Type: TypeData, Payload: make([]byte, MaxPayload)}
+	if _, err := big.Encode(); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
+func TestAppendEncodeAppends(t *testing.T) {
+	prefix := []byte("prefix")
+	p := &Packet{Type: TypeNak, Count: 2}
+	out, err := p.AppendEncode(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	if _, err := Decode(out[len(prefix):]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TypeData: "DATA", TypeParity: "PARITY", TypePoll: "POLL",
+		TypeNak: "NAK", TypeFin: "FIN", Type(77): "Type(77)",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	s := (&Packet{Type: TypePoll, Group: 3, Count: 7}).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,325 @@
+// Package rse implements the systematic Reed-Solomon erasure (RSE) code
+// used by the paper for parity-based loss recovery.
+//
+// A transmission group (TG) of k equal-size data packets d_1..d_k is
+// extended with h parity packets p_1..p_h; the n = k+h packets form an FEC
+// block. A receiver can reconstruct all k data packets from ANY k of the n
+// block packets. Because the code is systematic the common no-loss case
+// requires no decoding at all, and the decoding work grows linearly with
+// the number of lost data packets — both properties the paper relies on
+// (Section 2).
+//
+// The construction follows Rizzo's software coder: an n x k Vandermonde
+// matrix over GF(2^8) with distinct evaluation points is post-multiplied by
+// the inverse of its top k x k block, yielding a generator matrix whose top
+// k rows are the identity and any k rows of which are invertible. Packets
+// longer than one byte are handled symbol-wise: byte position s of every
+// parity packet depends only on byte position s of the data packets, i.e.
+// the coder runs len(packet) parallel GF(2^8) codes exactly as described by
+// McAuley (symbol size m = 8).
+package rse
+
+import (
+	"errors"
+	"fmt"
+
+	"rmfec/internal/gf256"
+)
+
+// MaxBlock is the largest supported FEC block size n = k+h, bounded by the
+// number of distinct evaluation points in GF(2^8).
+const MaxBlock = 256
+
+// Errors returned by the codec.
+var (
+	ErrTooFewShards   = errors.New("rse: fewer than k shards present")
+	ErrShardSize      = errors.New("rse: shards have inconsistent sizes")
+	ErrBadShardCount  = errors.New("rse: wrong number of shards")
+	ErrBadParityIndex = errors.New("rse: parity index out of range")
+)
+
+// Code is a systematic (n, k) Reed-Solomon erasure code. It is immutable
+// after construction and safe for concurrent use.
+type Code struct {
+	k, h   int
+	parity *gf256.Matrix // h x k parity generator rows of G = [I; P]
+}
+
+// New returns a code with k data shards and h parity shards per block.
+// Constraints: k >= 1, h >= 0, k+h <= MaxBlock.
+func New(k, h int) (*Code, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rse: k = %d, need k >= 1", k)
+	}
+	if h < 0 {
+		return nil, fmt.Errorf("rse: h = %d, need h >= 0", h)
+	}
+	n := k + h
+	if n > MaxBlock {
+		return nil, fmt.Errorf("rse: block size k+h = %d exceeds %d", n, MaxBlock)
+	}
+	v := gf256.Vandermonde(n, k, 0)
+	topRows := make([]int, k)
+	for i := range topRows {
+		topRows[i] = i
+	}
+	topInv, err := v.SubMatrix(topRows).Invert()
+	if err != nil {
+		// Cannot happen: a square Vandermonde block with distinct points
+		// is always invertible.
+		return nil, fmt.Errorf("rse: internal construction failure: %w", err)
+	}
+	if h == 0 {
+		// Degenerate code with no parities; Encode is a no-op and
+		// Reconstruct can only verify completeness.
+		return &Code{k: k, h: 0}, nil
+	}
+	g := v.Mul(topInv)
+	bottom := make([]int, h)
+	for j := range bottom {
+		bottom[j] = k + j
+	}
+	return &Code{k: k, h: h, parity: g.SubMatrix(bottom)}, nil
+}
+
+// MustNew is New, panicking on error; for statically valid parameters.
+func MustNew(k, h int) *Code {
+	c, err := New(k, h)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// K returns the number of data shards per block.
+func (c *Code) K() int { return c.k }
+
+// H returns the number of parity shards per block.
+func (c *Code) H() int { return c.h }
+
+// N returns the block size k+h.
+func (c *Code) N() int { return c.k + c.h }
+
+func checkSizes(shards [][]byte) (size int, err error) {
+	size = -1
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, ErrShardSize
+		}
+	}
+	if size < 0 {
+		return 0, ErrTooFewShards
+	}
+	return size, nil
+}
+
+// Encode computes all h parity shards from the k data shards. data must
+// hold exactly k non-nil equal-length slices; parity must hold exactly h
+// slices which are resized (reallocated if needed) to the data length and
+// overwritten. The amount of work is proportional to k*h*len(shard).
+func (c *Code) Encode(data, parity [][]byte) error {
+	if len(data) != c.k {
+		return fmt.Errorf("%w: %d data shards, want %d", ErrBadShardCount, len(data), c.k)
+	}
+	if len(parity) != c.h {
+		return fmt.Errorf("%w: %d parity shards, want %d", ErrBadShardCount, len(parity), c.h)
+	}
+	for _, d := range data {
+		if d == nil {
+			return fmt.Errorf("%w: nil data shard", ErrBadShardCount)
+		}
+	}
+	size, err := checkSizes(data)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < c.h; j++ {
+		if cap(parity[j]) < size {
+			parity[j] = make([]byte, size)
+		} else {
+			parity[j] = parity[j][:size]
+			for i := range parity[j] {
+				parity[j][i] = 0
+			}
+		}
+		row := c.parity.Row(j)
+		for i := 0; i < c.k; i++ {
+			gf256.MulAddSlice(row[i], data[i], parity[j])
+		}
+	}
+	return nil
+}
+
+// EncodeParity computes only parity shard j (0-based) into dst, which is
+// grown if needed and returned. This supports the paper's integrated
+// protocol NP, where parities are produced on demand one retransmission
+// round at a time rather than all up front.
+func (c *Code) EncodeParity(j int, data [][]byte, dst []byte) ([]byte, error) {
+	if j < 0 || j >= c.h {
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadParityIndex, j, c.h)
+	}
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: %d data shards, want %d", ErrBadShardCount, len(data), c.k)
+	}
+	size, err := checkSizes(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range data {
+		if d == nil {
+			return nil, fmt.Errorf("%w: nil data shard", ErrBadShardCount)
+		}
+	}
+	if cap(dst) < size {
+		dst = make([]byte, size)
+	} else {
+		dst = dst[:size]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	row := c.parity.Row(j)
+	for i := 0; i < c.k; i++ {
+		gf256.MulAddSlice(row[i], data[i], dst)
+	}
+	return dst, nil
+}
+
+// Reconstruct rebuilds every missing data shard in place. shards must have
+// length n = k+h; missing shards are nil, present shards must share one
+// length. Data shards occupy indices [0,k), parities [k,n). At least k
+// shards must be present. Missing parity shards are left nil (recompute
+// them with Encode if needed). The work is proportional to the number of
+// missing data shards, matching the paper's observation that decoding
+// overhead is proportional to the loss count l.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	n := c.N()
+	if len(shards) != n {
+		return fmt.Errorf("%w: %d shards, want %d", ErrBadShardCount, len(shards), n)
+	}
+	size, err := checkSizes(shards)
+	if err != nil {
+		return err
+	}
+
+	missing := make([]int, 0, c.k)
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil // systematic fast path: nothing to decode
+	}
+
+	// Pick k present shards, preferring data shards (their generator rows
+	// are unit vectors, which keeps the decode matrix sparse).
+	chosen := make([]int, 0, c.k)
+	for i := 0; i < c.k && len(chosen) < c.k; i++ {
+		if shards[i] != nil {
+			chosen = append(chosen, i)
+		}
+	}
+	for i := c.k; i < n && len(chosen) < c.k; i++ {
+		if shards[i] != nil {
+			chosen = append(chosen, i)
+		}
+	}
+	if len(chosen) < c.k {
+		return fmt.Errorf("%w: %d of %d present", ErrTooFewShards, len(chosen), c.k)
+	}
+
+	// Decode matrix: rows of G for the chosen shards.
+	a := gf256.NewMatrix(c.k, c.k)
+	for r, idx := range chosen {
+		if idx < c.k {
+			a.Set(r, idx, 1)
+		} else {
+			copy(a.Row(r), c.parity.Row(idx-c.k))
+		}
+	}
+	inv, err := a.Invert()
+	if err != nil {
+		// Cannot happen for this generator matrix; any k rows are
+		// linearly independent by construction.
+		return fmt.Errorf("rse: internal decode failure: %w", err)
+	}
+
+	// Each missing data shard i is row i of inv times the received vector.
+	for _, i := range missing {
+		out := make([]byte, size)
+		row := inv.Row(i)
+		for r, idx := range chosen {
+			gf256.MulAddSlice(row[r], shards[idx], out)
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// ReconstructAll rebuilds missing data shards and then re-encodes any
+// missing parity shards, leaving a fully populated block.
+func (c *Code) ReconstructAll(shards [][]byte) error {
+	if err := c.Reconstruct(shards); err != nil {
+		return err
+	}
+	needParity := false
+	for j := 0; j < c.h; j++ {
+		if shards[c.k+j] == nil {
+			needParity = true
+			break
+		}
+	}
+	if !needParity {
+		return nil
+	}
+	data := shards[:c.k]
+	for j := 0; j < c.h; j++ {
+		if shards[c.k+j] != nil {
+			continue
+		}
+		p, err := c.EncodeParity(j, data, nil)
+		if err != nil {
+			return err
+		}
+		shards[c.k+j] = p
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards. All n shards must be present.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	n := c.N()
+	if len(shards) != n {
+		return false, fmt.Errorf("%w: %d shards, want %d", ErrBadShardCount, len(shards), n)
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false, ErrTooFewShards
+		}
+	}
+	if _, err := checkSizes(shards); err != nil {
+		return false, err
+	}
+	var buf []byte
+	for j := 0; j < c.h; j++ {
+		p, err := c.EncodeParity(j, shards[:c.k], buf)
+		if err != nil {
+			return false, err
+		}
+		buf = p
+		want := shards[c.k+j]
+		for i := range p {
+			if p[i] != want[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rmfec/internal/loss"
+)
+
+// BurstHistogram maps consecutive-loss run lengths to occurrence counts,
+// the quantity plotted in Fig. 14.
+type BurstHistogram map[int]int
+
+// BurstCensus streams packets through a single receiver's loss process at
+// spacing dt and tallies the lengths of maximal runs of consecutive losses.
+func BurstCensus(proc loss.Process, dt float64, packets int) BurstHistogram {
+	if packets < 1 {
+		panic("sim: BurstCensus packets < 1")
+	}
+	if dt <= 0 {
+		panic(fmt.Sprintf("sim: BurstCensus dt = %g", dt))
+	}
+	hist := make(BurstHistogram)
+	run := 0
+	for i := 0; i < packets; i++ {
+		if proc.Lost(dt) {
+			run++
+		} else if run > 0 {
+			hist[run]++
+			run = 0
+		}
+	}
+	if run > 0 {
+		hist[run]++
+	}
+	return hist
+}
+
+// Lengths returns the histogram's keys in ascending order.
+func (h BurstHistogram) Lengths() []int {
+	out := make([]int, 0, len(h))
+	for l := range h {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TotalLosses returns the total number of lost packets across all bursts.
+func (h BurstHistogram) TotalLosses() int {
+	total := 0
+	for l, c := range h {
+		total += l * c
+	}
+	return total
+}
+
+// MeanLength returns the mean burst length, or 0 for an empty histogram.
+func (h BurstHistogram) MeanLength() float64 {
+	bursts := 0
+	for _, c := range h {
+		bursts += c
+	}
+	if bursts == 0 {
+		return 0
+	}
+	return float64(h.TotalLosses()) / float64(bursts)
+}

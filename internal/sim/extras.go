@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+
+	"rmfec/internal/loss"
+)
+
+// Integrated2Detailed is Integrated2 with a second output: the number of
+// transmission rounds per group (1 initial + parity rounds), the
+// simulation counterpart of the appendix's E[T] (Eq. 17 is an upper
+// bound on this quantity).
+func Integrated2Detailed(pop loss.Population, k int, tm Timing, groups int) (m, rounds Estimate) {
+	tm.validate()
+	if k < 1 {
+		panic(fmt.Sprintf("sim: Integrated2Detailed(k=%d)", k))
+	}
+	if groups < 1 {
+		panic("sim: groups < 1")
+	}
+	r := pop.R()
+	lost := make([]bool, r)
+	deficit := make([]int, r)
+	mSamples := make([]float64, 0, groups)
+	tSamples := make([]float64, 0, groups)
+	for range groups {
+		pop.Reset()
+		for j := range deficit {
+			deficit[j] = k
+		}
+		tx := 0
+		nRounds := 0
+		firstRound := true
+		for {
+			l := 0
+			for _, d := range deficit {
+				if d > l {
+					l = d
+				}
+			}
+			if l == 0 {
+				break
+			}
+			nRounds++
+			for s := 0; s < l; s++ {
+				dt := tm.Delta
+				if s == 0 && !firstRound {
+					dt = tm.Delta + tm.T
+				}
+				tx++
+				pop.Draw(dt, lost)
+				for j := range lost {
+					if deficit[j] > 0 && !lost[j] {
+						deficit[j]--
+					}
+				}
+			}
+			firstRound = false
+		}
+		mSamples = append(mSamples, float64(tx)/float64(k))
+		tSamples = append(tSamples, float64(nRounds))
+	}
+	return estimate(mSamples), estimate(tSamples)
+}
+
+// LayeredInterleaved is Layered with the classical burst-loss counter-
+// measure of Section 4.2: the packets of one FEC block are interleaved
+// with depth-1 other blocks, stretching the effective intra-block packet
+// spacing to depth*Delta so that a loss burst shorter than depth packets
+// hits each block at most once. depth = 1 degenerates to Layered.
+func LayeredInterleaved(pop loss.Population, k, h, depth int, tm Timing, groups int) Estimate {
+	if depth < 1 {
+		panic(fmt.Sprintf("sim: LayeredInterleaved(depth=%d)", depth))
+	}
+	stretched := tm
+	stretched.Delta = tm.Delta * float64(depth)
+	return Layered(pop, k, h, stretched, groups)
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmfec/internal/loss"
+	"rmfec/internal/model"
+)
+
+func TestIntegrated2DetailedMatchesIntegrated2(t *testing.T) {
+	mk := func(seed int64) loss.Population {
+		return loss.NewIndependentBernoulli(20, 0.05, rand.New(rand.NewSource(seed)))
+	}
+	plain := Integrated2(mk(1), 7, PaperTiming, 8000)
+	detailed, _ := Integrated2Detailed(mk(1), 7, PaperTiming, 8000)
+	// Same seed, same draws: the E[M] paths must be identical.
+	if plain.Mean != detailed.Mean {
+		t.Errorf("detailed E[M] %g != plain %g", detailed.Mean, plain.Mean)
+	}
+}
+
+func TestRoundsAgainstModelBound(t *testing.T) {
+	// Eq. (17) is an upper bound on E[T]: the simulated rounds must stay
+	// at or below it (within Monte-Carlo error) and above 1.
+	for _, tc := range []struct {
+		k, r int
+		p    float64
+	}{
+		{7, 10, 0.05}, {20, 50, 0.01}, {7, 200, 0.1},
+	} {
+		pop := loss.NewIndependentBernoulli(tc.r, tc.p, rand.New(rand.NewSource(2)))
+		_, rounds := Integrated2Detailed(pop, tc.k, PaperTiming, 6000)
+		bound := model.ExpectedRoundsNP(tc.k, tc.r, tc.p)
+		if rounds.Mean > bound+4*rounds.StdErr+0.02*bound {
+			t.Errorf("k=%d R=%d p=%g: simulated E[T] %g exceeds model bound %g",
+				tc.k, tc.r, tc.p, rounds.Mean, bound)
+		}
+		if rounds.Mean < 1 {
+			t.Errorf("E[T] = %g < 1", rounds.Mean)
+		}
+		// The bound should not be wildly loose for small populations.
+		if bound > 3*rounds.Mean {
+			t.Errorf("bound %g suspiciously loose vs simulated %g", bound, rounds.Mean)
+		}
+	}
+}
+
+func TestRoundsLosslessIsOne(t *testing.T) {
+	pop := loss.NewIndependentBernoulli(5, 0, rand.New(rand.NewSource(3)))
+	_, rounds := Integrated2Detailed(pop, 7, PaperTiming, 100)
+	if rounds.Mean != 1 {
+		t.Errorf("lossless E[T] = %g, want 1", rounds.Mean)
+	}
+}
+
+func TestInterleavingRescuesLayeredUnderBurst(t *testing.T) {
+	// Section 4.2: interleaving spreads a block over a window longer than
+	// the loss burst. Layered (7+1) under burst loss must improve
+	// monotonically toward its independent-loss value as depth grows.
+	const r, p = 100, 0.01
+	mk := func(seed int64) loss.Population {
+		return loss.NewIndependentMarkov(r, p, 2, 25, rand.New(rand.NewSource(seed)))
+	}
+	d1 := LayeredInterleaved(mk(4), 7, 1, 1, PaperTiming, 4000)
+	d8 := LayeredInterleaved(mk(5), 7, 1, 8, PaperTiming, 4000)
+	if d8.Mean >= d1.Mean {
+		t.Errorf("depth 8 (%g) should beat depth 1 (%g) under burst loss", d8.Mean, d1.Mean)
+	}
+	// Deep interleaving approaches the independent-loss closed form.
+	indep := model.ExpectedTxLayered(7, 1, r, p)
+	if rel := (d8.Mean - indep) / indep; rel > 0.1 || rel < -0.1 {
+		t.Errorf("depth 8 (%g) should approach the independent value (%g)", d8.Mean, indep)
+	}
+}
+
+func TestInterleavingNeutralUnderIndependentLoss(t *testing.T) {
+	// With memoryless loss the spacing is irrelevant; depth must not
+	// change E[M] beyond Monte-Carlo noise.
+	const r, p = 50, 0.02
+	mk := func(seed int64) loss.Population {
+		return loss.NewIndependentBernoulli(r, p, rand.New(rand.NewSource(seed)))
+	}
+	d1 := LayeredInterleaved(mk(6), 7, 1, 1, PaperTiming, 8000)
+	d8 := LayeredInterleaved(mk(7), 7, 1, 8, PaperTiming, 8000)
+	diff := d1.Mean - d8.Mean
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 4*(d1.StdErr+d8.StdErr)+0.01*d1.Mean {
+		t.Errorf("depth changed E[M] under Bernoulli loss: %g vs %g", d1.Mean, d8.Mean)
+	}
+}
+
+func TestExtrasValidation(t *testing.T) {
+	pop := loss.NewIndependentBernoulli(2, 0.1, rand.New(rand.NewSource(8)))
+	for name, f := range map[string]func(){
+		"detailed k":       func() { Integrated2Detailed(pop, 0, PaperTiming, 10) },
+		"detailed groups":  func() { Integrated2Detailed(pop, 7, PaperTiming, 0) },
+		"interleave depth": func() { LayeredInterleaved(pop, 7, 1, 0, PaperTiming, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHeterogeneousSimMatchesModel(t *testing.T) {
+	// A mixed population (90% at p=0.01, 10% at p=0.25) through the
+	// generic simulators must agree with the heterogeneous closed forms of
+	// Section 3.3.
+	const r = 40
+	classes := []model.Class{{P: 0.01, Count: 36}, {P: 0.25, Count: 4}}
+	mkPop := func(seed int64) loss.Population {
+		rng := rand.New(rand.NewSource(seed))
+		procs := make([]loss.Process, 0, r)
+		for _, c := range classes {
+			for i := 0; i < c.Count; i++ {
+				procs = append(procs, loss.NewBernoulli(c.P, rng))
+			}
+		}
+		return loss.NewIndependent(procs)
+	}
+	noFEC := NoFEC(mkPop(10), PaperTiming, 20000)
+	wantNoFEC := model.ExpectedTxNoFECHetero(classes)
+	if !withinCI(noFEC, wantNoFEC) {
+		t.Errorf("hetero no-FEC: sim %g+-%g vs model %g", noFEC.Mean, noFEC.StdErr, wantNoFEC)
+	}
+	integ := Integrated2(mkPop(11), 7, PaperTiming, 20000)
+	wantInteg := model.ExpectedTxIntegratedHetero(7, 0, classes)
+	if !withinCI(integ, wantInteg) {
+		t.Errorf("hetero integrated: sim %g+-%g vs model %g", integ.Mean, integ.StdErr, wantInteg)
+	}
+	layered := Layered(mkPop(12), 7, 2, PaperTiming, 20000)
+	wantLayered := model.ExpectedTxLayeredHetero(7, 2, classes)
+	if !withinCI(layered, wantLayered) {
+		t.Errorf("hetero layered: sim %g+-%g vs model %g", layered.Mean, layered.StdErr, wantLayered)
+	}
+}

@@ -1,0 +1,288 @@
+// Package sim contains the Monte-Carlo engines behind the paper's
+// simulated figures: the expected number of transmissions per packet E[M]
+// for reliable multicast without FEC, with layered FEC, and with the two
+// integrated FEC variants of Section 4.2, under any loss.Population
+// (independent, heterogeneous, shared full-binary-tree or bursty), plus the
+// burst-length census of Fig. 14.
+//
+// Timing follows Fig. 13: packets within a block are spaced Delta seconds
+// apart and retransmission rounds add a feedback gap T, which is what makes
+// temporally-correlated loss interact with the recovery scheme. Spatial
+// loss models ignore the timestamps, so the same engines serve Sections 3,
+// 4.1 and 4.2.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rmfec/internal/loss"
+)
+
+// Timing holds the transmission timing parameters of Fig. 13 in seconds.
+type Timing struct {
+	Delta float64 // spacing between consecutive packet transmissions
+	T     float64 // sender-side gap before a retransmission round (RTT/feedback delay)
+}
+
+// PaperTiming is the Section 4.2 configuration: 25 packets/s (Delta = 40 ms,
+// Bolot's loaded INRIA-UCL path) and T = 300 ms.
+var PaperTiming = Timing{Delta: 0.040, T: 0.300}
+
+func (tm Timing) validate() {
+	if tm.Delta <= 0 || tm.T < 0 || math.IsNaN(tm.Delta) || math.IsNaN(tm.T) {
+		panic(fmt.Sprintf("sim: invalid timing %+v", tm))
+	}
+}
+
+// Estimate is a Monte-Carlo estimate of E[M].
+type Estimate struct {
+	Mean    float64 // sample mean of transmissions per packet
+	StdErr  float64 // standard error of the mean
+	Samples int     // number of simulated packets or transmission groups
+}
+
+func estimate(samples []float64) Estimate {
+	n := len(samples)
+	if n == 0 {
+		panic("sim: no samples")
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	se := 0.0
+	if n > 1 {
+		se = math.Sqrt(ss / float64(n-1) / float64(n))
+	}
+	return Estimate{Mean: mean, StdErr: se, Samples: n}
+}
+
+// NoFEC simulates plain ARQ: each packet is multicast and re-multicast,
+// with successive transmissions of the same packet spaced Delta+T, until
+// every receiver holds it. Returns the per-packet transmission count.
+func NoFEC(pop loss.Population, tm Timing, packets int) Estimate {
+	tm.validate()
+	if packets < 1 {
+		panic("sim: packets < 1")
+	}
+	r := pop.R()
+	lost := make([]bool, r)
+	pending := make([]bool, r)
+	samples := make([]float64, 0, packets)
+	for range packets {
+		pop.Reset()
+		for j := range pending {
+			pending[j] = true
+		}
+		remaining := r
+		tx := 0
+		for remaining > 0 {
+			tx++
+			pop.Draw(tm.Delta+tm.T, lost)
+			for j := range pending {
+				if pending[j] && !lost[j] {
+					pending[j] = false
+					remaining--
+				}
+			}
+		}
+		samples = append(samples, float64(tx))
+	}
+	return estimate(samples)
+}
+
+// Layered simulates the layered-FEC architecture of Section 3.1 with TG
+// size k and h parities per block (n = k+h): every round transmits a full
+// FEC block at spacing Delta (a retransmitted packet keeps its slot, the
+// other slots carry other traffic of the stream plus fresh parities); a
+// data packet is recovered when its own slot arrives or when at most h of
+// the round's n slots are lost so the block decodes. Rounds are separated
+// by the feedback gap Delta+T. The returned metric is E[M] including the
+// n/k parity overhead of every data transmission, matching Eq. (3).
+func Layered(pop loss.Population, k, h int, tm Timing, groups int) Estimate {
+	tm.validate()
+	if k < 1 || h < 0 {
+		panic(fmt.Sprintf("sim: Layered(k=%d, h=%d)", k, h))
+	}
+	if groups < 1 {
+		panic("sim: groups < 1")
+	}
+	r := pop.R()
+	n := k + h
+	lost := make([]bool, r)
+	missing := make([]bool, r*k) // missing[j*k+i]: receiver j lacks packet i
+	lostCount := make([]int, r)
+	pending := make([]bool, k)
+	samples := make([]float64, 0, groups)
+
+	for range groups {
+		pop.Reset()
+		for i := range missing {
+			missing[i] = true
+		}
+		for i := range pending {
+			pending[i] = true
+		}
+		dataTx := 0
+		firstRound := true
+		for {
+			nPending := 0
+			for _, p := range pending {
+				if p {
+					nPending++
+				}
+			}
+			if nPending == 0 {
+				break
+			}
+			dataTx += nPending
+
+			for j := range lostCount {
+				lostCount[j] = 0
+			}
+			for s := 0; s < n; s++ {
+				dt := tm.Delta
+				if s == 0 && !firstRound {
+					dt = tm.Delta + tm.T
+				}
+				pop.Draw(dt, lost)
+				for j := range lost {
+					if lost[j] {
+						lostCount[j]++
+					} else if s < k && pending[s] {
+						missing[j*k+s] = false
+					}
+				}
+			}
+			firstRound = false
+			// A decodable block recovers every pending packet.
+			for j := 0; j < r; j++ {
+				if lostCount[j] <= h {
+					base := j * k
+					for i := 0; i < k; i++ {
+						if pending[i] {
+							missing[base+i] = false
+						}
+					}
+				}
+			}
+			for i := 0; i < k; i++ {
+				if !pending[i] {
+					continue
+				}
+				still := false
+				for j := 0; j < r; j++ {
+					if missing[j*k+i] {
+						still = true
+						break
+					}
+				}
+				pending[i] = still
+			}
+		}
+		samples = append(samples, float64(n)/float64(k)*float64(dataTx)/float64(k))
+	}
+	return estimate(samples)
+}
+
+// Integrated1 simulates the feedback-free integrated scheme of Section 4.2:
+// the sender streams the k data packets and then parities, all spaced
+// Delta, and a receiver leaves the group once it holds any k packets of the
+// block; the sender stops when every receiver is done (idealised unbounded
+// parities, a = 0).
+func Integrated1(pop loss.Population, k int, tm Timing, groups int) Estimate {
+	tm.validate()
+	if k < 1 {
+		panic(fmt.Sprintf("sim: Integrated1(k=%d)", k))
+	}
+	if groups < 1 {
+		panic("sim: groups < 1")
+	}
+	r := pop.R()
+	lost := make([]bool, r)
+	received := make([]int, r)
+	samples := make([]float64, 0, groups)
+	for range groups {
+		pop.Reset()
+		for j := range received {
+			received[j] = 0
+		}
+		remaining := r
+		tx := 0
+		for remaining > 0 {
+			tx++
+			pop.Draw(tm.Delta, lost)
+			for j := range lost {
+				if received[j] < k && !lost[j] {
+					received[j]++
+					if received[j] == k {
+						remaining--
+					}
+				}
+			}
+		}
+		samples = append(samples, float64(tx)/float64(k))
+	}
+	return estimate(samples)
+}
+
+// Integrated2 simulates the hybrid-ARQ integrated scheme (protocol NP's
+// generic form): round 1 sends the k data packets spaced Delta; each later
+// round waits the feedback gap Delta+T and multicasts l parities, where l
+// is the largest number of packets any receiver still misses (idealised
+// single-NAK feedback, unbounded parities).
+func Integrated2(pop loss.Population, k int, tm Timing, groups int) Estimate {
+	tm.validate()
+	if k < 1 {
+		panic(fmt.Sprintf("sim: Integrated2(k=%d)", k))
+	}
+	if groups < 1 {
+		panic("sim: groups < 1")
+	}
+	r := pop.R()
+	lost := make([]bool, r)
+	deficit := make([]int, r)
+	samples := make([]float64, 0, groups)
+	for range groups {
+		pop.Reset()
+		for j := range deficit {
+			deficit[j] = k
+		}
+		tx := 0
+		firstRound := true
+		for {
+			l := 0
+			for _, d := range deficit {
+				if d > l {
+					l = d
+				}
+			}
+			if l == 0 {
+				break
+			}
+			for s := 0; s < l; s++ {
+				dt := tm.Delta
+				if s == 0 && !firstRound {
+					dt = tm.Delta + tm.T
+				}
+				tx++
+				pop.Draw(dt, lost)
+				for j := range lost {
+					if deficit[j] > 0 && !lost[j] {
+						deficit[j]--
+					}
+				}
+			}
+			firstRound = false
+		}
+		samples = append(samples, float64(tx)/float64(k))
+	}
+	return estimate(samples)
+}

@@ -1,0 +1,167 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rmfec/internal/loss"
+)
+
+// Network is a multicast medium: a packet sent by any node is delivered to
+// every other node after that node's propagation delay, unless the
+// destination's loss process drops it. Loss is applied per destination, so
+// one multicast transmission can reach some receivers and miss others —
+// exactly the setting of the paper.
+type Network struct {
+	sched *Scheduler
+	nodes []*Node
+	rng   *rand.Rand
+
+	// Stats
+	sent      uint64 // multicast transmissions
+	delivered uint64 // per-destination deliveries
+	dropped   uint64 // per-destination drops
+
+	tracer Tracer // optional packet-event observer
+}
+
+// NewNetwork creates a network on the given scheduler with a seeded source
+// of randomness for delay jitter.
+func NewNetwork(sched *Scheduler, rng *rand.Rand) *Network {
+	if sched == nil || rng == nil {
+		panic("simnet: nil scheduler or rng")
+	}
+	return &Network{sched: sched, rng: rng}
+}
+
+// Scheduler returns the network's event loop.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Stats returns (multicast transmissions, per-destination deliveries,
+// per-destination drops) so far.
+func (n *Network) Stats() (sent, delivered, dropped uint64) {
+	return n.sent, n.delivered, n.dropped
+}
+
+// NodeConfig configures one attached node.
+type NodeConfig struct {
+	// Loss drops packets arriving at this node; nil means lossless.
+	Loss loss.Process
+	// Delay is the fixed propagation delay for packets arriving here.
+	Delay time.Duration
+	// Jitter adds a uniform random [0,Jitter) component to each arrival.
+	Jitter time.Duration
+	// LoseControl, when false (the default), exempts control traffic
+	// (marked by the sender via MulticastControl) from the loss process —
+	// matching analyses that assume NAKs are never lost. Set true to
+	// subject everything to loss.
+	LoseControl bool
+}
+
+// Node is one endpoint on the medium. It implements the core.Env contract
+// structurally: Now, Multicast, MulticastControl, After and Rand.
+type Node struct {
+	id      int
+	net     *Network
+	cfg     NodeConfig
+	handler func(b []byte)
+	rng     *rand.Rand
+	lastRx  time.Duration // last arrival, for temporal loss processes
+	hasRx   bool
+}
+
+// AddNode attaches a node with the given reception characteristics.
+func (n *Network) AddNode(cfg NodeConfig) *Node {
+	if cfg.Delay < 0 || cfg.Jitter < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v/%v", cfg.Delay, cfg.Jitter))
+	}
+	node := &Node{
+		id:  len(n.nodes),
+		net: n,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(n.rng.Int63())),
+	}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// ID returns the node's index within the network.
+func (node *Node) ID() int { return node.id }
+
+// SetHandler installs the packet-arrival callback. Handlers run on the
+// scheduler goroutine; the buffer is shared between destinations and must
+// be treated as read-only.
+func (node *Node) SetHandler(fn func(b []byte)) { node.handler = fn }
+
+// Now returns virtual time.
+func (node *Node) Now() time.Duration { return node.net.sched.Now() }
+
+// After schedules a local timer.
+func (node *Node) After(d time.Duration, fn func()) (cancel func()) {
+	return node.net.sched.After(d, fn)
+}
+
+// Rand returns the node's private randomness (for NAK slot selection).
+func (node *Node) Rand() *rand.Rand { return node.rng }
+
+// Multicast sends a data-plane packet to every other node.
+func (node *Node) Multicast(b []byte) error { return node.send(b, false) }
+
+// MulticastControl sends a control packet (POLL/NAK/FIN); destinations with
+// LoseControl unset receive it loss-free.
+func (node *Node) MulticastControl(b []byte) error { return node.send(b, true) }
+
+func (node *Node) send(b []byte, control bool) error {
+	net := node.net
+	net.sent++
+	now := net.sched.Now()
+	if net.tracer != nil {
+		net.tracer.Record(TraceEvent{Time: now, Src: node.id, Dst: -1, Len: len(b), Control: control})
+	}
+	for _, dst := range net.nodes {
+		if dst == node {
+			continue
+		}
+		d := dst.cfg.Delay
+		if dst.cfg.Jitter > 0 {
+			d += time.Duration(net.rng.Int63n(int64(dst.cfg.Jitter)))
+		}
+		arrival := now + d
+		dstNode := dst
+		src := node.id
+		net.sched.At(arrival, func() {
+			dstNode.receive(b, src, control)
+		})
+	}
+	return nil
+}
+
+func (node *Node) receive(b []byte, src int, control bool) {
+	lossy := node.cfg.Loss != nil && (!control || node.cfg.LoseControl)
+	if lossy {
+		now := node.net.sched.Now()
+		dt := 0.0
+		if node.hasRx {
+			dt = (now - node.lastRx).Seconds()
+		}
+		node.lastRx = now
+		node.hasRx = true
+		if node.cfg.Loss.Lost(dt) {
+			node.net.dropped++
+			if node.net.tracer != nil {
+				node.net.tracer.Record(TraceEvent{Time: now, Src: src, Dst: node.id,
+					Len: len(b), Control: control, Dropped: true})
+			}
+			return
+		}
+	}
+	node.net.delivered++
+	if node.net.tracer != nil {
+		node.net.tracer.Record(TraceEvent{Time: node.net.sched.Now(), Src: src,
+			Dst: node.id, Len: len(b), Control: control})
+	}
+	if node.handler != nil {
+		node.handler(b)
+	}
+}

@@ -1,0 +1,130 @@
+// Package simnet provides a deterministic discrete-event simulation of an
+// IP-multicast network: a scheduler with virtual time, and a broadcast
+// medium of nodes whose incoming packets traverse a per-node delay and a
+// per-node loss process (Bernoulli, Markov burst, or none). The protocol
+// engines in internal/core are event driven, so the same engine code runs
+// on this virtual network — at thousands of simulated receivers per real
+// second — and on real UDP multicast via internal/udpcast.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at       time.Duration
+	seq      uint64 // tie-break: FIFO among equal timestamps
+	fn       func()
+	canceled bool
+	index    int // heap bookkeeping
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded virtual-time event loop. It is not safe
+// for concurrent use: all callbacks run on the goroutine that calls Run.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	// Budget guards against runaway simulations; 0 disables the check.
+	MaxEvents uint64
+	processed uint64
+}
+
+// NewScheduler returns an empty scheduler at virtual time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// At schedules fn at absolute virtual time t (>= Now) and returns a cancel
+// function. Cancel is idempotent and a no-op after the event fires.
+func (s *Scheduler) At(t time.Duration, fn func()) (cancel func()) {
+	if fn == nil {
+		panic("simnet: nil event callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling in the past: %v < %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pq, e)
+	return func() { e.canceled = true }
+}
+
+// After schedules fn after delay d; see At.
+func (s *Scheduler) After(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run processes events in timestamp order until the queue drains, Stop is
+// called, or MaxEvents is exceeded (which panics, as it indicates a
+// protocol livelock in a test).
+func (s *Scheduler) Run() {
+	s.RunUntil(1<<63 - 1)
+}
+
+// RunUntil processes events with timestamps <= deadline. Virtual time is
+// left at the last processed event (or deadline if nothing ran after it).
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	for len(s.pq) > 0 && !s.stopped {
+		next := s.pq[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&s.pq)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.processed++
+		if s.MaxEvents > 0 && s.processed > s.MaxEvents {
+			panic(fmt.Sprintf("simnet: exceeded %d events — livelock?", s.MaxEvents))
+		}
+		next.fn()
+	}
+	if s.now < deadline && deadline < 1<<62 {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of queued (possibly canceled) events.
+func (s *Scheduler) Pending() int { return len(s.pq) }

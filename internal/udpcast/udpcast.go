@@ -1,0 +1,173 @@
+// Package udpcast is the real-network counterpart of internal/simnet: a
+// UDP/IP-multicast transport that satisfies the core.Env contract, so the
+// exact protocol engines exercised under simulated loss also drive live
+// transfers. One Conn joins a multicast group, serialises all engine
+// callbacks (packet arrivals, timers) behind one mutex — preserving the
+// engines' single-threaded discipline — and multicasts with a real clock.
+package udpcast
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxDatagram is the largest datagram Serve will read.
+const MaxDatagram = 65507
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("udpcast: connection closed")
+
+// Conn is a joined multicast endpoint implementing core.Env.
+type Conn struct {
+	group *net.UDPAddr
+	rc    *net.UDPConn // subscribed receive socket
+	sc    *net.UDPConn // send socket
+
+	// mu serialises engine callbacks (packet handler, timers) and Rand
+	// access. Engine callbacks run WITH mu held and may call Multicast/
+	// MulticastControl re-entrantly, so those methods must not take mu.
+	mu      sync.Mutex
+	handler func(b []byte)
+	rng     *rand.Rand
+	start   time.Time
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// Join subscribes to a multicast group ("239.1.2.3:7654"). ifi selects the
+// interface (nil lets the kernel choose, which on most systems includes
+// loopback delivery of the host's own transmissions — required when sender
+// and receivers share a machine).
+func Join(group string, ifi *net.Interface) (*Conn, error) {
+	addr, err := net.ResolveUDPAddr("udp4", group)
+	if err != nil {
+		return nil, fmt.Errorf("udpcast: resolve %q: %w", group, err)
+	}
+	if !addr.IP.IsMulticast() {
+		return nil, fmt.Errorf("udpcast: %v is not a multicast address", addr.IP)
+	}
+	rc, err := net.ListenMulticastUDP("udp4", ifi, addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpcast: join %v: %w", addr, err)
+	}
+	if err := rc.SetReadBuffer(1 << 20); err != nil {
+		// Non-fatal: some systems cap socket buffers.
+		_ = err
+	}
+	sc, err := net.DialUDP("udp4", nil, addr)
+	if err != nil {
+		rc.Close()
+		return nil, fmt.Errorf("udpcast: dial %v: %w", addr, err)
+	}
+	return &Conn{
+		group: addr,
+		rc:    rc,
+		sc:    sc,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		start: time.Now(),
+	}, nil
+}
+
+// Now implements core.Env with wall-clock time relative to Join.
+func (c *Conn) Now() time.Duration { return time.Since(c.start) }
+
+// Rand implements core.Env. Callers run under the engine mutex.
+func (c *Conn) Rand() *rand.Rand { return c.rng }
+
+// Multicast implements core.Env. It is safe to call from engine callbacks
+// (which hold the engine mutex) — it takes no locks itself.
+func (c *Conn) Multicast(b []byte) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	_, err := c.sc.Write(b)
+	return err
+}
+
+// MulticastControl implements core.Env; UDP has a single plane.
+func (c *Conn) MulticastControl(b []byte) error { return c.Multicast(b) }
+
+// After implements core.Env: fn runs on the engine mutex unless canceled
+// or the Conn is closed first.
+func (c *Conn) After(d time.Duration, fn func()) (cancel func()) {
+	var canceled bool
+	var mu sync.Mutex
+	timer := time.AfterFunc(d, func() {
+		mu.Lock()
+		dead := canceled
+		mu.Unlock()
+		if dead {
+			return
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if !c.closed.Load() {
+			fn()
+		}
+	})
+	return func() {
+		mu.Lock()
+		canceled = true
+		mu.Unlock()
+		timer.Stop()
+	}
+}
+
+// Serve installs the engine's HandlePacket callback and pumps incoming
+// datagrams to it until Close. It returns immediately; reading happens on
+// a background goroutine. Datagrams from this host's own send socket are
+// delivered too (multicast loopback) — the engines ignore packet types
+// they did not subscribe to, mirroring a shared broadcast medium.
+func (c *Conn) Serve(handler func(b []byte)) {
+	c.mu.Lock()
+	c.handler = handler
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		buf := make([]byte, MaxDatagram)
+		for {
+			n, _, err := c.rc.ReadFromUDP(buf)
+			if err != nil {
+				return // socket closed
+			}
+			if c.closed.Load() {
+				return
+			}
+			pkt := make([]byte, n)
+			copy(pkt, buf[:n])
+			c.mu.Lock()
+			if h := c.handler; h != nil && !c.closed.Load() {
+				h(pkt)
+			}
+			c.mu.Unlock()
+		}
+	}()
+}
+
+// Do runs fn under the engine mutex; use it to call engine methods (Send,
+// Stats) race-free while Serve is active.
+func (c *Conn) Do(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn()
+}
+
+// Close leaves the group and stops the read loop.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	err1 := c.rc.Close()
+	err2 := c.sc.Close()
+	c.wg.Wait()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,150 @@
+package udpcast
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rmfec/internal/core"
+)
+
+// groupAddr returns a test multicast group; the port is randomised to keep
+// parallel test runs apart.
+func groupAddr(t *testing.T) string {
+	t.Helper()
+	return fmt.Sprintf("239.77.%d.%d:%d", rand.Intn(250)+1, rand.Intn(250)+1, 20000+rand.Intn(20000))
+}
+
+// join skips the test when the environment has no multicast support.
+func join(t *testing.T, group string) *Conn {
+	t.Helper()
+	c, err := Join(group, nil)
+	if err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestJoinValidation(t *testing.T) {
+	if _, err := Join("not an address", nil); err == nil {
+		t.Error("garbage address accepted")
+	}
+	if _, err := Join("127.0.0.1:9000", nil); err == nil {
+		t.Error("unicast address accepted as multicast group")
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	group := groupAddr(t)
+	a := join(t, group)
+	b := join(t, group)
+
+	got := make(chan []byte, 10)
+	b.Serve(func(p []byte) { got <- append([]byte(nil), p...) })
+	// Multicast loopback needs a moment for the IGMP join on some stacks.
+	time.Sleep(50 * time.Millisecond)
+	if err := a.Multicast([]byte("over the wire")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if !bytes.Equal(p, []byte("over the wire")) {
+			t.Fatalf("got %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Skip("multicast loopback not delivering in this environment")
+	}
+}
+
+func TestAfterAndCancel(t *testing.T) {
+	group := groupAddr(t)
+	c := join(t, group)
+	var fired atomic.Int32
+	c.After(10*time.Millisecond, func() { fired.Add(1) })
+	cancel := c.After(10*time.Millisecond, func() { fired.Add(100) })
+	cancel()
+	time.Sleep(100 * time.Millisecond)
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+	if c.Now() <= 0 {
+		t.Error("Now() not monotone from Join")
+	}
+}
+
+func TestCloseIdempotentAndStopsTimers(t *testing.T) {
+	group := groupAddr(t)
+	c := join(t, group)
+	var fired atomic.Int32
+	c.After(50*time.Millisecond, func() { fired.Add(1) })
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Error("timer fired after Close")
+	}
+	if err := c.Multicast([]byte("x")); err != ErrClosed {
+		t.Errorf("Multicast after close: %v", err)
+	}
+}
+
+func TestNPTransferOverUDP(t *testing.T) {
+	// End-to-end: the NP engines, unchanged, over real multicast sockets.
+	group := groupAddr(t)
+	sConn := join(t, group)
+	r1Conn := join(t, group)
+	r2Conn := join(t, group)
+
+	cfg := core.Config{
+		Session:   uint32(rand.Int31()),
+		K:         8,
+		ShardSize: 512,
+		Delta:     200 * time.Microsecond,
+		Ts:        2 * time.Millisecond,
+		RetryBase: 50 * time.Millisecond,
+	}
+	sender, err := core.NewSender(sConn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []byte, 2)
+	mkReceiver := func(conn *Conn) {
+		rc, err := core.NewReceiver(conn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.OnComplete = func(m []byte) { done <- append([]byte(nil), m...) }
+		conn.Serve(rc.HandlePacket)
+	}
+	mkReceiver(r1Conn)
+	mkReceiver(r2Conn)
+	sConn.Serve(sender.HandlePacket)
+	time.Sleep(50 * time.Millisecond) // let IGMP joins settle
+
+	msg := make([]byte, 40000)
+	rand.New(rand.NewSource(1)).Read(msg)
+	sConn.Do(func() {
+		if err := sender.Send(msg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	for i := 0; i < 2; i++ {
+		select {
+		case got := <-done:
+			if !bytes.Equal(got, msg) {
+				t.Fatal("delivered message corrupted")
+			}
+		case <-time.After(10 * time.Second):
+			t.Skip("multicast loopback not delivering in this environment")
+		}
+	}
+}

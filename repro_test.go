@@ -1,0 +1,68 @@
+package rmfec
+
+import (
+	"math"
+	"testing"
+
+	"rmfec/internal/model"
+)
+
+// TestReproHeadlines pins the analytic headline numbers recorded in
+// EXPERIMENTS.md to the code: if a model change shifts any of these values
+// the documentation must be regenerated. All values are exact evaluations
+// (no Monte-Carlo), so the tolerance is purely for floating-point noise.
+func TestReproHeadlines(t *testing.T) {
+	const tol = 5e-3
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol*math.Max(1, want) {
+			t.Errorf("%s = %.4f, EXPERIMENTS.md records %.4f — regenerate the docs", name, got, want)
+		}
+	}
+
+	// Fig 3/5/6/7: E[M] at R = 10^6, p = 0.01.
+	check("noFEC@1e6", ExpectedTxNoFEC(1e6, 0.01), 3.6422)
+	check("layered k=7 h=2 @1e6", ExpectedTxLayered(7, 2, 1e6, 0.01), 2.5724)
+	check("layered k=20 h=2 @1e6", ExpectedTxLayered(20, 2, 1e6, 0.01), 2.2371)
+	check("layered k=100 h=2 @1e6", ExpectedTxLayered(100, 2, 1e6, 0.01), 3.0787)
+	check("integrated k=7 @1e6", ExpectedTxIntegrated(7, 0, 1e6, 0.01), 1.5584)
+	check("integrated k=20 @1e6", ExpectedTxIntegrated(20, 0, 1e6, 0.01), 1.2559)
+	check("integrated k=100 @1e6", ExpectedTxIntegrated(100, 0, 1e6, 0.01), 1.0898)
+	check("(7,8)@1e6", ExpectedTxIntegratedFinite(7, 1, 0, 1e6, 0.01), 2.7086)
+	check("(7,10)@1e6", ExpectedTxIntegratedFinite(7, 3, 0, 1e6, 0.01), 2.2171)
+
+	// Fig 4: generous parities make k=100 best.
+	check("layered k=100 h=7 @1e4", ExpectedTxLayered(100, 7, 1e4, 0.01), 1.0809)
+
+	// Fig 9: 1% high-loss receivers at 10^6.
+	hetero := model.ExpectedTxNoFECHetero([]model.Class{
+		{P: 0.01, Count: 990000}, {P: 0.25, Count: 10000},
+	})
+	check("hetero 1%@1e6", hetero, 7.5614)
+
+	// Figs 17/18 with the paper's constants.
+	check("N2 throughput@1e6", model.N2Rates(1e6, 0.01, model.PaperTiming).Throughput, 0.2015)
+	check("NP-pre throughput@1e6", model.NPRates(20, 1e6, 0.01, model.PaperTiming, true).Throughput, 0.6817)
+
+	// Residual loss of the layered architecture, Eq. (2).
+	check("q(7,8,0.01)", ResidualLoss(7, 8, 0.01)*1e4, 6.7935) // scaled for tolerance
+}
+
+// TestReproOrderings asserts the qualitative orderings the paper's
+// conclusions rest on, at full precision.
+func TestReproOrderings(t *testing.T) {
+	for _, r := range []int{10, 1000, 1000000} {
+		no := ExpectedTxNoFEC(r, 0.01)
+		lay := ExpectedTxLayered(7, 2, r, 0.01)
+		integ := ExpectedTxIntegrated(7, 0, r, 0.01)
+		if integ > lay && r >= 10 {
+			t.Errorf("R=%d: integrated (%g) above layered (%g)", r, integ, lay)
+		}
+		if integ >= no {
+			t.Errorf("R=%d: integrated (%g) not below no-FEC (%g)", r, integ, no)
+		}
+		if integ < 1 || lay < 1 || no < 1 {
+			t.Errorf("R=%d: some E[M] below 1", r)
+		}
+	}
+}
