@@ -1,0 +1,26 @@
+# Build and verification entry points. `make check` is the gate every
+# change must pass; it is exactly scripts/check.sh.
+
+GO ?= go
+
+.PHONY: build test lint race check fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Project-specific static analysis (see internal/lint and `rmlint -rules`).
+lint:
+	$(GO) run ./cmd/rmlint ./...
+
+# Race-detector pass over the packages that own or drive concurrency.
+race:
+	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/
+
+check:
+	sh scripts/check.sh
+
+fmt:
+	gofmt -w .

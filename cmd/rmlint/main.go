@@ -1,0 +1,123 @@
+// Command rmlint is the project's static analyzer. It loads the module
+// containing the working directory, type-checks it with the standard
+// library only (no network, no compiled artifacts), and enforces the
+// engine invariants that keep the paper's figures reproducible:
+//
+//	rmlint ./...               # whole module (the usual CI invocation)
+//	rmlint ./internal/core     # one package
+//	rmlint -rules              # list rules and what they guard
+//
+// Findings print as "file:line: rule: message" and make the exit status 1;
+// a clean tree exits 0. Suppress a single finding with
+// //rmlint:ignore <rule> <reason> on or directly above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rmfec/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the enforced rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rmlint [-rules] [packages]\n\npackages are module-relative dirs or ./... (default)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-18s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs, err := selectPackages(mod, root, cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(pkgs, lint.DefaultConfig())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectPackages resolves command-line patterns against the loaded module.
+// "./..." (or no argument) selects everything; other arguments name single
+// package directories, relative to the working directory.
+func selectPackages(mod *lint.Module, root, cwd string, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return mod.Pkgs, nil
+	}
+	byRel := make(map[string]*lint.Package, len(mod.Pkgs))
+	for _, p := range mod.Pkgs {
+		byRel[p.Rel] = p
+	}
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "all" {
+			pat, recursive = ".", true
+		}
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			pat, recursive = strings.TrimSuffix(rest, "/"), true
+			if pat == "" {
+				pat = "."
+			}
+		}
+		abs := pat
+		if !filepath.IsAbs(pat) {
+			abs = filepath.Join(cwd, pat)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return nil, fmt.Errorf("rmlint: %s is outside module %s", pat, mod.Path)
+		}
+		if rel == "." {
+			rel = ""
+		}
+		rel = filepath.ToSlash(rel)
+		matched := false
+		for _, p := range mod.Pkgs {
+			ok := p.Rel == rel || (recursive && (rel == "" || strings.HasPrefix(p.Rel, rel+"/")))
+			if ok && !seen[p.Path] {
+				seen[p.Path] = true
+				out = append(out, p)
+			}
+			matched = matched || ok
+		}
+		if !matched {
+			return nil, fmt.Errorf("rmlint: no packages match %s", pat)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

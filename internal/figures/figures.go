@@ -141,15 +141,21 @@ func (f *Figure) WriteTSV(w io.Writer) error {
 	}
 	fmt.Fprintln(w) //nolint:errcheck
 
+	// Exact map keys, not float ==: the row keys come verbatim from the
+	// series' own x values, so bit-identical lookup is the right semantics.
+	cells := make([]map[float64]float64, len(f.Series))
+	for si, s := range f.Series {
+		cells[si] = make(map[float64]float64, len(s.X))
+		for i, sx := range s.X {
+			cells[si][sx] = s.Y[i]
+		}
+	}
 	for _, x := range xs {
 		fmt.Fprintf(w, "%g", x) //nolint:errcheck
-		for _, s := range f.Series {
+		for si := range f.Series {
 			cell := ""
-			for i, sx := range s.X {
-				if sx == x {
-					cell = fmt.Sprintf("%.6g", s.Y[i])
-					break
-				}
+			if y, ok := cells[si][x]; ok {
+				cell = fmt.Sprintf("%.6g", y)
 			}
 			fmt.Fprintf(w, "\t%s", cell) //nolint:errcheck
 		}

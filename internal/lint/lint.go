@@ -1,0 +1,228 @@
+// Package lint implements rmlint, the project's static analyzer. The
+// protocol engines reproduce the paper's NP/N2 curves only because they are
+// deterministic and single-threaded behind the core.Env contract; that
+// discipline used to live in comments. rmlint turns it into mechanically
+// checked invariants:
+//
+//   - env-discipline: engine packages must not read wall-clock time
+//     (time.Now/Since/Sleep/After/...) or the global math/rand RNG; all
+//     time and randomness flows through core.Env (or an explicitly seeded
+//     rand.New, which stays deterministic).
+//   - no-goroutines: engine packages contain no go statements; concurrency
+//     belongs to transports such as internal/udpcast.
+//   - float-eq: model/numeric/figures code must not compare two
+//     non-constant floating-point expressions with == or != (comparisons
+//     against constants, e.g. p == 0 sentinel guards, are allowed).
+//   - mutex-discipline: a method that calls another method of the same
+//     receiver while mu may be held, where the callee itself locks mu, is a
+//     self-deadlock and is flagged.
+//
+// Findings can be suppressed line-by-line with
+//
+//	//rmlint:ignore <rule> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory; a directive without one is itself reported (rule bad-ignore).
+//
+// The analyzer is stdlib-only: packages are loaded with go/parser and
+// type-checked with go/types, resolving module-internal imports from the
+// source tree and everything else through go/importer's source importer.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printed as "file:line: rule: message".
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
+}
+
+// Config selects which packages each rule applies to. Paths are
+// module-relative package directories ("internal/core"; "" is the module
+// root package). The zero Config applies env-discipline, no-goroutines and
+// float-eq nowhere; mutex-discipline and bad-ignore always run everywhere.
+type Config struct {
+	// EnvPackages are checked by env-discipline: the deterministic engine
+	// packages plus the Env implementations whose wall-clock use must be
+	// explicit (annotated) rather than accidental.
+	EnvPackages []string
+	// GoroutineFreePackages are checked by no-goroutines. Unlike
+	// EnvPackages this excludes the transports, whose whole job is to own
+	// the concurrency the engines must not have.
+	GoroutineFreePackages []string
+	// FloatEqPackages are checked by float-eq.
+	FloatEqPackages []string
+}
+
+// DefaultConfig returns the rule applicability for this repository.
+func DefaultConfig() Config {
+	return Config{
+		EnvPackages: []string{
+			"internal/core",
+			"internal/layered",
+			"internal/simnet",
+			"internal/figures",
+			"internal/udpcast", // real-clock Env: every wall-clock read is annotated
+		},
+		GoroutineFreePackages: []string{
+			"internal/core",
+			"internal/layered",
+			"internal/simnet",
+			"internal/figures",
+		},
+		FloatEqPackages: []string{
+			"internal/model",
+			"internal/numeric",
+			"internal/figures",
+		},
+	}
+}
+
+func pathIn(rel string, set []string) bool {
+	for _, s := range set {
+		if rel == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule is one named invariant check.
+type Rule struct {
+	Name  string
+	Doc   string
+	check func(p *Package, cfg Config) []Diagnostic
+}
+
+// Rules returns every rule rmlint enforces, in reporting order.
+func Rules() []Rule {
+	return []Rule{
+		{
+			Name:  "env-discipline",
+			Doc:   "engine packages take time and randomness only from core.Env (no time.Now/Sleep/After, no global math/rand)",
+			check: checkEnvDiscipline,
+		},
+		{
+			Name:  "no-goroutines",
+			Doc:   "engine packages contain no go statements; concurrency belongs to transports",
+			check: checkNoGoroutines,
+		},
+		{
+			Name:  "float-eq",
+			Doc:   "no ==/!= between non-constant floating-point expressions in model/numeric/figures",
+			check: checkFloatEq,
+		},
+		{
+			Name:  "mutex-discipline",
+			Doc:   "no call to a mu-locking method of the same receiver while mu may already be held",
+			check: checkMutexDiscipline,
+		},
+	}
+}
+
+// knownRule reports whether name is a rule rmlint knows about, so
+// misspelled ignore directives do not silently suppress nothing.
+func knownRule(name string) bool {
+	for _, r := range Rules() {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every rule to every package and returns the surviving
+// findings sorted by position. Suppressed findings are dropped; malformed
+// or unknown ignore directives are reported under the bad-ignore rule.
+func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		ig, igDiags := parseIgnores(p)
+		out = append(out, igDiags...)
+		for _, r := range Rules() {
+			for _, d := range r.check(p, cfg) {
+				if ig.suppressed(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// ignoreSet records, per file and line, which rules are suppressed. A
+// directive suppresses its own line (trailing comment) and the line
+// directly below it (standalone comment above the offending statement).
+type ignoreSet map[string]map[int]map[string]bool
+
+func (ig ignoreSet) add(pos token.Position, rule string) {
+	lines := ig[pos.Filename]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		ig[pos.Filename] = lines
+	}
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		if lines[line] == nil {
+			lines[line] = make(map[string]bool)
+		}
+		lines[line][rule] = true
+	}
+}
+
+func (ig ignoreSet) suppressed(d Diagnostic) bool {
+	return ig[d.Pos.Filename][d.Pos.Line][d.Rule]
+}
+
+const ignorePrefix = "//rmlint:ignore"
+
+// parseIgnores scans a package's comments for //rmlint:ignore directives.
+func parseIgnores(p *Package) (ignoreSet, []Diagnostic) {
+	ig := make(ignoreSet)
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				switch {
+				case len(fields) == 0:
+					diags = append(diags, Diagnostic{pos, "bad-ignore",
+						"ignore directive names no rule; use //rmlint:ignore <rule> <reason>"})
+				case !knownRule(fields[0]):
+					diags = append(diags, Diagnostic{pos, "bad-ignore",
+						fmt.Sprintf("unknown rule %q in ignore directive", fields[0])})
+				case len(fields) == 1:
+					diags = append(diags, Diagnostic{pos, "bad-ignore",
+						fmt.Sprintf("ignore directive for %s has no reason; say why the invariant does not apply", fields[0])})
+				default:
+					ig.add(pos, fields[0])
+				}
+			}
+		}
+	}
+	return ig, diags
+}

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runFixture writes a synthetic module into a temp dir, loads it, and runs
+// every rule under cfg. Keys of files are module-relative paths.
+func runFixture(t *testing.T, cfg Config, files map[string]string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fixture\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return Run(mod.Pkgs, cfg)
+}
+
+// wantDiags asserts the exact set of findings as "file:line: rule" strings.
+func wantDiags(t *testing.T, got []Diagnostic, want ...string) {
+	t.Helper()
+	var gs []string
+	for _, d := range got {
+		gs = append(gs, fmt.Sprintf("%s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Rule))
+	}
+	if len(gs) != len(want) {
+		t.Fatalf("got %d findings %v, want %d %v", len(gs), gs, len(want), want)
+	}
+	for i := range want {
+		if gs[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, gs[i], want[i])
+		}
+	}
+}
+
+func engineCfg() Config {
+	return Config{
+		EnvPackages:           []string{"engine"},
+		GoroutineFreePackages: []string{"engine"},
+		FloatEqPackages:       []string{"fp"},
+	}
+}
+
+func TestEnvDisciplinePositive(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad() time.Time {
+	time.Sleep(time.Millisecond)
+	_ = rand.Intn(7)
+	return time.Now()
+}
+`,
+	})
+	wantDiags(t, got,
+		"engine/engine.go:9: env-discipline",
+		"engine/engine.go:10: env-discipline",
+		"engine/engine.go:11: env-discipline",
+	)
+}
+
+func TestEnvDisciplineAliasedImport(t *testing.T) {
+	// Renaming the import must not dodge the rule: resolution is by the
+	// imported package's path, not the local name.
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+import clock "time"
+
+func Sneaky() clock.Time { return clock.Now() }
+`,
+	})
+	wantDiags(t, got, "engine/engine.go:5: env-discipline")
+}
+
+func TestEnvDisciplineNegative(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		// Seeded generators and duration arithmetic are the approved idiom.
+		"engine/engine.go": `package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Good(seed int64, d time.Duration) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	_ = d * 2
+	return rng.Float64()
+}
+`,
+		// The same calls outside a configured engine package are fine.
+		"other/other.go": `package other
+
+import "time"
+
+func Wall() time.Time { return time.Now() }
+`,
+	})
+	wantDiags(t, got)
+}
+
+func TestNoGoroutinesPositive(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}
+`,
+	})
+	wantDiags(t, got, "engine/engine.go:4: no-goroutines")
+}
+
+func TestNoGoroutinesNegative(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+func Serial(fn func()) { fn() }
+`,
+		"transport/transport.go": `package transport
+
+func Pump(ch chan int) {
+	go func() { ch <- 1 }()
+}
+`,
+	})
+	wantDiags(t, got)
+}
+
+func TestFloatEqPositive(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"fp/fp.go": `package fp
+
+func Eq(a, b float64) bool  { return a == b }
+func Neq(a, b float32) bool { return a != b }
+`,
+	})
+	wantDiags(t, got,
+		"fp/fp.go:3: float-eq",
+		"fp/fp.go:4: float-eq",
+	)
+}
+
+func TestFloatEqNegative(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		// Sentinel checks against constants, integer and string equality,
+		// and float comparison outside the configured packages all pass.
+		"fp/fp.go": `package fp
+
+const One = 1.0
+
+func Sentinel(p float64) bool { return p == 0 || p == One }
+func Ints(a, b int) bool      { return a == b }
+func Strs(a, b string) bool   { return a != b }
+`,
+		"other/other.go": `package other
+
+func Eq(a, b float64) bool { return a == b }
+`,
+	})
+	wantDiags(t, got)
+}
+
+func TestMutexDisciplinePositive(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"conn/conn.go": `package conn
+
+import "sync"
+
+type Conn struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Conn) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Conn) Deadlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Incr()
+}
+
+func (c *Conn) BranchDeadlock(cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.Incr()
+}
+`,
+	})
+	wantDiags(t, got,
+		"conn/conn.go:19: mutex-discipline",
+		"conn/conn.go:26: mutex-discipline",
+	)
+}
+
+func TestMutexDisciplineNegative(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"conn/conn.go": `package conn
+
+import "sync"
+
+type Conn struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Conn) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek never locks; calling it under mu is fine.
+func (c *Conn) Peek() int { return c.n }
+
+func (c *Conn) AfterUnlock() {
+	c.mu.Lock()
+	n := c.Peek()
+	c.mu.Unlock()
+	c.Incr()
+	_ = n
+}
+
+// EarlyReturn locks only on the path that returns, so the call at the end
+// runs with mu released.
+func (c *Conn) EarlyReturn(cond bool) {
+	if cond {
+		c.mu.Lock()
+		c.mu.Unlock()
+		return
+	}
+	c.Incr()
+}
+
+// Closures are separate execution contexts (timers, goroutines): a locking
+// call inside one is not a call under this frame's mu.
+func (c *Conn) Defers() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() { c.Incr() }
+}
+`,
+	})
+	wantDiags(t, got)
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+import "time"
+
+// Trailing directives suppress their own line, standalone ones the next.
+func Wall() time.Time {
+	t := time.Now() //rmlint:ignore env-discipline wall-clock benchmark, not protocol time
+	//rmlint:ignore env-discipline second legitimate read
+	u := time.Now()
+	_ = u
+	return t
+}
+`,
+	})
+	wantDiags(t, got)
+}
+
+func TestIgnoreDirectiveDoesNotSuppressOtherRules(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+import "time"
+
+func Wall(ch chan int) time.Time {
+	//rmlint:ignore no-goroutines wrong rule for this line
+	return time.Now()
+}
+`,
+	})
+	wantDiags(t, got, "engine/engine.go:7: env-discipline")
+}
+
+func TestBadIgnoreDirectives(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+//rmlint:ignore not-a-rule some reason
+func A() {}
+
+//rmlint:ignore env-discipline
+func B() {}
+`,
+	})
+	wantDiags(t, got,
+		"engine/engine.go:3: bad-ignore",
+		"engine/engine.go:6: bad-ignore",
+	)
+}
+
+func TestDefaultConfigCoversEnginePackages(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, rel := range []string{"internal/core", "internal/layered", "internal/simnet", "internal/figures"} {
+		if !pathIn(rel, cfg.EnvPackages) {
+			t.Errorf("%s missing from EnvPackages", rel)
+		}
+		if !pathIn(rel, cfg.GoroutineFreePackages) {
+			t.Errorf("%s missing from GoroutineFreePackages", rel)
+		}
+	}
+	if !pathIn("internal/udpcast", cfg.EnvPackages) {
+		t.Error("internal/udpcast missing from EnvPackages (its wall-clock use must stay annotated)")
+	}
+	if pathIn("internal/udpcast", cfg.GoroutineFreePackages) {
+		t.Error("internal/udpcast is a transport; it owns goroutines by design")
+	}
+}

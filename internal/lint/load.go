@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and (best-effort) type-checked package of
+// the module under analysis.
+type Package struct {
+	Path  string // import path ("rmfec/internal/core")
+	Rel   string // module-relative dir ("internal/core"; "" for the root)
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints. Rules still run on the
+	// AST; type-dependent rules degrade to syntactic matching where info is
+	// missing, so a half-broken tree still gets linted.
+	TypeErrors []error
+}
+
+// Module is the analyzed source tree.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // absolute module root
+	Pkgs []*Package
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every non-test package under root.
+// Test files (_test.go) are excluded: the invariants guard shipped engine
+// code, and tests legitimately sleep, spin goroutines and compare exact
+// floats.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:     token.NewFileSet(),
+		root:     root,
+		modPath:  modPath,
+		srcs:     make(map[string][]*ast.File),
+		pkgs:     make(map[string]*Package),
+		inflight: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+
+	rels, err := l.discover()
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Path: modPath, Root: root}
+	for _, rel := range rels {
+		p, err := l.ensure(importPathFor(modPath, rel))
+		if err != nil {
+			return nil, err
+		}
+		mod.Pkgs = append(mod.Pkgs, p)
+	}
+	return mod, nil
+}
+
+func importPathFor(modPath, rel string) string {
+	if rel == "" {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+func readModulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+type loader struct {
+	fset     *token.FileSet
+	root     string
+	modPath  string
+	srcs     map[string][]*ast.File // import path -> parsed files
+	pkgs     map[string]*Package
+	inflight map[string]bool
+	std      types.ImporterFrom
+}
+
+// discover walks the module, parses every buildable package and returns the
+// sorted module-relative dirs that contain one.
+func (l *loader) discover() ([]string, error) {
+	var rels []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		ip := importPathFor(l.modPath, rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		display := filepath.ToSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.root), string(filepath.Separator)))
+		f, err := parser.ParseFile(l.fset, display, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", display, err)
+		}
+		if len(l.srcs[ip]) == 0 {
+			rels = append(rels, rel)
+		}
+		l.srcs[ip] = append(l.srcs[ip], f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+// Import implements types.Importer: module-internal packages are checked
+// from the walked source tree; everything else (stdlib) comes from the
+// source importer, which needs no compiled artifacts or network.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+func (l *loader) ensure(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	files, ok := l.srcs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no Go source for %s under %s", path, l.root)
+	}
+	if l.inflight[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.inflight[path] = true
+	defer delete(l.inflight, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	p := &Package{
+		Path:  path,
+		Rel:   rel,
+		Dir:   filepath.Join(l.root, filepath.FromSlash(rel)),
+		Fset:  l.fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, p.Info)
+	if tpkg == nil && err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	p.Types = tpkg
+	l.pkgs[path] = p
+	return p, nil
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// bannedTime are the package time functions that read or act on the wall
+// clock. time.Duration arithmetic and constants stay legal: engines speak
+// in durations, they just never ask the host what time it is.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// bannedRand are the math/rand package-level functions backed by the
+// shared, racily-seeded global source. rand.New/NewSource/NewZipf remain
+// legal — an explicitly seeded generator is exactly how the engines stay
+// reproducible.
+var bannedRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// checkEnvDiscipline flags direct wall-clock and global-RNG calls in the
+// configured engine packages. Determinism is the result: the same seed must
+// replay the same figure, so time and randomness flow through core.Env.
+func checkEnvDiscipline(p *Package, cfg Config) []Diagnostic {
+	if !pathIn(p.Rel, cfg.EnvPackages) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pkgPathOfIdent(p, f, id) {
+			case "time":
+				if bannedTime[sel.Sel.Name] {
+					diags = append(diags, Diagnostic{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: "env-discipline",
+						Msg: fmt.Sprintf("time.%s reads the wall clock; engines must take time from core.Env (Now/After)",
+							sel.Sel.Name),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRand[sel.Sel.Name] {
+					diags = append(diags, Diagnostic{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: "env-discipline",
+						Msg: fmt.Sprintf("rand.%s draws from the global RNG; engines must use core.Env.Rand or an explicitly seeded rand.New",
+							sel.Sel.Name),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// pkgPathOfIdent resolves which imported package an identifier names,
+// preferring type information and falling back to the file's import table
+// when type-checking was incomplete.
+func pkgPathOfIdent(p *Package, f *ast.File, id *ast.Ident) string {
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // a local variable or type shadows the package name
+	}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := pathBase(path)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFloatEq flags ==/!= between two non-constant floating-point
+// expressions in the configured packages. The analytic models accumulate in
+// log space and truncate infinite sums; two quantities that are equal on
+// paper differ in ulps in practice, so exact comparison is a latent bug.
+// Comparing against a compile-time constant (p == 0, x != 1) stays legal:
+// those are exact sentinel checks on values assigned literally, the idiom
+// the stdlib itself uses.
+func checkFloatEq(p *Package, cfg Config) []Diagnostic {
+	if !pathIn(p.Rel, cfg.FloatEqPackages) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := p.Info.Types[be.X]
+			yt, yok := p.Info.Types[be.Y]
+			if !xok || !yok {
+				return true // incomplete type info; don't guess
+			}
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil || yt.Value != nil {
+				return true // sentinel comparison against a constant
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(be.OpPos),
+				Rule: "float-eq",
+				Msg: fmt.Sprintf("floating-point %s between non-constant expressions; compare with a tolerance (math.Abs(a-b) <= eps) or restructure around exact keys",
+					be.Op),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

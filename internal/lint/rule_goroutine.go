@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkNoGoroutines flags go statements in the configured engine packages.
+// The engines are event-driven state machines whose callbacks must be
+// invoked serially (see core.Env); any concurrency lives in the transports
+// (internal/udpcast), which serialise callbacks behind one mutex before
+// they reach an engine.
+func checkNoGoroutines(p *Package, cfg Config) []Diagnostic {
+	if !pathIn(p.Rel, cfg.GoroutineFreePackages) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(g.Pos()),
+					Rule: "no-goroutines",
+					Msg:  "go statement in an engine package; engines are single-threaded — concurrency belongs to transports like internal/udpcast",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

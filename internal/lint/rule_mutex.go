@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// checkMutexDiscipline guards the transports' re-entrancy contract: engine
+// callbacks run with the connection mutex held and call back into the
+// transport (Multicast, After), so any method reachable from a callback
+// must not take mu — and, dually, a method that holds mu must not call a
+// sibling method that locks it, which self-deadlocks on the first packet.
+//
+// For every struct type with a field `mu` of type sync.Mutex/RWMutex the
+// rule computes the set of methods that lock mu directly, then walks each
+// method in source order tracking whether mu may be held (Lock sets it,
+// Unlock clears it, `defer mu.Unlock()` keeps it held to the end; branches
+// merge with may-held semantics). A call to a mu-locking sibling while mu
+// may be held is reported. Function literals are separate execution
+// contexts (goroutines, timers) and are scanned with mu not held.
+//
+// The rule runs on every package — any future mutex-holding type gets the
+// same check for free.
+func checkMutexDiscipline(p *Package, cfg Config) []Diagnostic {
+	muTypes := make(map[string]bool)            // type name -> has `mu sync.Mutex` field
+	methods := make(map[string][]*ast.FuncDecl) // type name -> methods
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, name := range fld.Names {
+							if name.Name == "mu" && isMutexType(fld.Type) {
+								muTypes[ts.Name.Name] = true
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if tn := recvTypeName(d); tn != "" {
+					methods[tn] = append(methods[tn], d)
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for tn := range muTypes {
+		locks := make(map[string]bool)
+		for _, m := range methods[tn] {
+			if methodLocksMu(m) {
+				locks[m.Name.Name] = true
+			}
+		}
+		if len(locks) == 0 {
+			continue
+		}
+		for _, m := range methods[tn] {
+			s := &muScanner{p: p, typeName: tn, recv: recvName(m), locks: locks, method: m.Name.Name}
+			if s.recv == "" || m.Body == nil {
+				continue
+			}
+			s.scanStmts(m.Body.List, false)
+			diags = append(diags, s.diags...)
+		}
+	}
+	return diags
+}
+
+func isMutexType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "sync" && (sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex")
+}
+
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func recvName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 || len(d.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return d.Recv.List[0].Names[0].Name
+}
+
+// methodLocksMu reports whether the method body calls recv.mu.Lock or
+// recv.mu.RLock outside function literals (a lock taken inside a closure
+// happens in that closure's execution context, not the caller's).
+func methodLocksMu(d *ast.FuncDecl) bool {
+	recv := recvName(d)
+	if recv == "" || d.Body == nil {
+		return false
+	}
+	found := false
+	inspectOutsideFuncLits(d.Body, func(n ast.Node) {
+		if kind := muCallKind(n, recv); kind == "Lock" || kind == "RLock" {
+			found = true
+		}
+	})
+	return found
+}
+
+// muCallKind classifies n as a call recv.mu.<method>() and returns the
+// method name, or "".
+func muCallKind(n ast.Node, recv string) string {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "mu" {
+		return ""
+	}
+	id, ok := inner.X.(*ast.Ident)
+	if !ok || id.Name != recv {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// inspectOutsideFuncLits visits every node under root except the bodies of
+// function literals.
+func inspectOutsideFuncLits(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// muScanner walks statements in source order tracking whether mu may be
+// held, and reports calls to mu-locking sibling methods made while it is.
+type muScanner struct {
+	p        *Package
+	typeName string
+	method   string
+	recv     string
+	locks    map[string]bool
+	diags    []Diagnostic
+}
+
+// scanStmts processes a statement list with entry state held and returns
+// the may-held state at the fall-through exit.
+func (s *muScanner) scanStmts(stmts []ast.Stmt, held bool) bool {
+	for _, st := range stmts {
+		held = s.scanStmt(st, held)
+	}
+	return held
+}
+
+func (s *muScanner) scanStmt(st ast.Stmt, held bool) bool {
+	switch v := st.(type) {
+	case *ast.ExprStmt:
+		switch muCallKind(v.X, s.recv) {
+		case "Lock", "RLock":
+			return true
+		case "Unlock", "RUnlock":
+			return false
+		}
+		s.checkCalls(v.X, held)
+		return held
+	case *ast.DeferStmt:
+		// defer recv.mu.Unlock() releases at return; mu stays held for the
+		// remainder of this body. Other deferred calls run after the body,
+		// in an unknown lock state — scan their arguments only.
+		if k := muCallKind(v.Call, s.recv); k == "Unlock" || k == "RUnlock" {
+			return held
+		}
+		for _, arg := range v.Call.Args {
+			s.checkCalls(arg, held)
+		}
+		return held
+	case *ast.BlockStmt:
+		return s.scanStmts(v.List, held)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			held = s.scanStmt(v.Init, held)
+		}
+		s.checkCalls(v.Cond, held)
+		out := held
+		if !terminates(v.Body) {
+			out = out || s.scanStmts(v.Body.List, held)
+		} else {
+			s.scanStmts(v.Body.List, held)
+		}
+		if v.Else != nil {
+			e := s.scanStmt(v.Else, held)
+			if !stmtTerminates(v.Else) {
+				out = out || e
+			}
+		}
+		return out
+	case *ast.ForStmt:
+		if v.Init != nil {
+			held = s.scanStmt(v.Init, held)
+		}
+		if v.Cond != nil {
+			s.checkCalls(v.Cond, held)
+		}
+		body := s.scanStmts(v.Body.List, held)
+		if v.Post != nil {
+			s.scanStmt(v.Post, held)
+		}
+		return held || body
+	case *ast.RangeStmt:
+		s.checkCalls(v.X, held)
+		return held || s.scanStmts(v.Body.List, held)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		out := held
+		ast.Inspect(st, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok {
+				out = out || s.scanStmts(cc.Body, held)
+				return false
+			}
+			if cc, ok := n.(*ast.CommClause); ok {
+				out = out || s.scanStmts(cc.Body, held)
+				return false
+			}
+			return true
+		})
+		return out
+	case *ast.LabeledStmt:
+		return s.scanStmt(v.Stmt, held)
+	case *ast.GoStmt:
+		// The spawned goroutine runs without this frame's locks; only the
+		// argument expressions evaluate here.
+		for _, arg := range v.Call.Args {
+			s.checkCalls(arg, held)
+		}
+		return held
+	default:
+		s.checkCalls(st, held)
+		return held
+	}
+}
+
+// checkCalls reports calls recv.M(...) under n (outside function literals)
+// where M locks mu and mu may be held here.
+func (s *muScanner) checkCalls(n ast.Node, held bool) {
+	if !held || n == nil {
+		return
+	}
+	inspectOutsideFuncLits(n, func(nn ast.Node) {
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != s.recv || !s.locks[sel.Sel.Name] {
+			return
+		}
+		s.diags = append(s.diags, Diagnostic{
+			Pos:  s.p.Fset.Position(call.Pos()),
+			Rule: "mutex-discipline",
+			Msg: fmt.Sprintf("(%s).%s calls %s.%s while mu may be held, and %s locks mu — self-deadlock; move the call outside the critical section or document the callee lock-free",
+				s.typeName, s.method, s.recv, sel.Sel.Name, sel.Sel.Name),
+		})
+	})
+}
+
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(st ast.Stmt) bool {
+	switch v := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(v)
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package udpcast
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCloseServeMulticast hammers the Conn lifecycle from many
+// goroutines at once. It asserts nothing about delivery — the point is
+// that under -race no operation may race another: Serve registering the
+// read loop, Multicast on the send socket, After timers firing, Do entering
+// the engine mutex, and Close tearing everything down mid-flight.
+func TestConcurrentCloseServeMulticast(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		c := join(t, groupAddr(t))
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				c.Serve(func(b []byte) { _ = len(b) })
+			}()
+		}
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 50; j++ {
+					if err := c.Multicast([]byte("payload")); err != nil {
+						return // closed under us: expected
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 20; j++ {
+				cancel := c.After(time.Duration(j)*100*time.Microsecond, func() {})
+				if j%2 == 0 {
+					cancel()
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 20; j++ {
+				c.Do(func() {})
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			time.Sleep(time.Millisecond)
+			if err := c.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+
+		close(start)
+		wg.Wait()
+		if err := c.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+	}
+}
+
+// TestServeAfterCloseIsNoop pins the lifecycle contract the race test
+// relies on: once Close returns, Serve must not start a read loop.
+func TestServeAfterCloseIsNoop(t *testing.T) {
+	c := join(t, groupAddr(t))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Serve(func(b []byte) { t.Error("handler invoked after Close") })
+	time.Sleep(20 * time.Millisecond)
+}

@@ -55,10 +55,9 @@ func Join(group string, ifi *net.Interface) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udpcast: join %v: %w", addr, err)
 	}
-	if err := rc.SetReadBuffer(1 << 20); err != nil {
-		// Non-fatal: some systems cap socket buffers.
-		_ = err
-	}
+	// Best-effort: some systems cap socket buffers, and a small buffer only
+	// costs drops under burst — which the protocol exists to repair.
+	_ = rc.SetReadBuffer(1 << 20)
 	sc, err := net.DialUDP("udp4", nil, addr)
 	if err != nil {
 		rc.Close()
@@ -68,12 +67,16 @@ func Join(group string, ifi *net.Interface) (*Conn, error) {
 		group: addr,
 		rc:    rc,
 		sc:    sc,
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		//rmlint:ignore env-discipline transport-side seeding: live receivers must jitter NAK slots differently, not reproducibly
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+		//rmlint:ignore env-discipline this Conn IS the wall-clock core.Env implementation
 		start: time.Now(),
 	}, nil
 }
 
 // Now implements core.Env with wall-clock time relative to Join.
+//
+//rmlint:ignore env-discipline this Conn IS the wall-clock core.Env implementation
 func (c *Conn) Now() time.Duration { return time.Since(c.start) }
 
 // Rand implements core.Env. Callers run under the engine mutex.
@@ -97,6 +100,7 @@ func (c *Conn) MulticastControl(b []byte) error { return c.Multicast(b) }
 func (c *Conn) After(d time.Duration, fn func()) (cancel func()) {
 	var canceled bool
 	var mu sync.Mutex
+	//rmlint:ignore env-discipline this Conn IS the wall-clock core.Env implementation; Env.After maps to a real timer
 	timer := time.AfterFunc(d, func() {
 		mu.Lock()
 		dead := canceled
@@ -125,9 +129,17 @@ func (c *Conn) After(d time.Duration, fn func()) (cancel func()) {
 // they did not subscribe to, mirroring a shared broadcast medium.
 func (c *Conn) Serve(handler func(b []byte)) {
 	c.mu.Lock()
+	if c.closed.Load() {
+		// Registering the reader after Close would leak a goroutine Close
+		// no longer waits for. Checking under mu pairs with Close's
+		// closed-then-mu ordering: either we see closed here, or Close's
+		// wg.Wait happens after our wg.Add.
+		c.mu.Unlock()
+		return
+	}
 	c.handler = handler
-	c.mu.Unlock()
 	c.wg.Add(1)
+	c.mu.Unlock()
 	go func() {
 		defer c.wg.Done()
 		buf := make([]byte, MaxDatagram)
@@ -158,11 +170,18 @@ func (c *Conn) Do(fn func()) {
 	fn()
 }
 
-// Close leaves the group and stops the read loop.
+// Close leaves the group and stops the read loop. It must not be called
+// from an engine callback: callbacks run on the read-loop goroutine, which
+// Close waits for.
 func (c *Conn) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	// Barrier against a concurrent Serve: once we hold mu, any Serve still
+	// in flight has either completed its wg.Add (we will wait for its
+	// goroutine) or will observe closed and register nothing.
+	c.mu.Lock()
+	c.mu.Unlock() //nolint:staticcheck // empty critical section is the point
 	err1 := c.rc.Close()
 	err2 := c.sc.Close()
 	c.wg.Wait()

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# check.sh — the repository's single verification entry point (`make check`).
+#
+# Tiers, cheapest first so failures surface fast:
+#   1. gofmt            formatting drift
+#   2. go vet           the stock analyzer suite
+#   3. go build         everything compiles
+#   4. rmlint           project invariants (env-discipline, no-goroutines,
+#                       float-eq, mutex-discipline) — see internal/lint
+#   5. go test          full test suite
+#   6. go test -race    short-mode tests of the concurrent packages under
+#                       the race detector (udpcast transport, simnet
+#                       scheduler, core engines driven by both)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '== gofmt'
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go build ./...'
+go build ./...
+
+echo '== rmlint ./...'
+go run ./cmd/rmlint ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race -short (concurrent packages)'
+go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/
+
+echo 'check.sh: all tiers passed'
