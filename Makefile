@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race check fmt
+.PHONY: build test lint race check fmt bench
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ race:
 
 check:
 	sh scripts/check.sh
+
+# Perf trajectory snapshot (kernel + codec rates -> BENCH_PR2.json).
+bench:
+	sh scripts/bench.sh
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,236 @@
+// Command bench runs the PR 2 performance gate and emits a machine-
+// readable snapshot (BENCH_PR2.json) for the repository's perf
+// trajectory: GF(2^8) kernel throughput against the retained scalar
+// reference, and encode/decode packet rates of the RSE coder at the
+// paper's k=7,h=7 and k=20,h=5 operating points.
+//
+//	go run ./cmd/bench                  # writes BENCH_PR2.json
+//	go run ./cmd/bench -out - -runs 3   # quick run to stdout
+//
+// Each metric is the median of -runs testing.Benchmark passes, because
+// shared hosts are noisy and a single pass can swing 2x in either
+// direction; the kernel speedup field pairs medians from the same
+// process invocation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"rmfec/internal/gf256"
+	"rmfec/internal/rse"
+)
+
+const shardBytes = 1024
+
+type kernelStats struct {
+	MulAddMBs       float64 `json:"muladd_mb_s"`
+	MulAddScalarMBs float64 `json:"muladd_scalar_mb_s"`
+	MulAddSpeedup   float64 `json:"muladd_speedup"`
+	XorMBs          float64 `json:"xor_mb_s"`
+	XorScalarMBs    float64 `json:"xor_scalar_mb_s"`
+	XorSpeedup      float64 `json:"xor_speedup"`
+}
+
+type codecStats struct {
+	K              int     `json:"k"`
+	H              int     `json:"h"`
+	EncodePktsS    float64 `json:"encode_pkts_s"`
+	DecodePktsS    float64 `json:"decode_pkts_s"`
+	DecodeAllocsOp int64   `json:"decode_allocs_per_op"`
+}
+
+type snapshot struct {
+	PR         int          `json:"pr"`
+	Timestamp  string       `json:"timestamp"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	ShardBytes int          `json:"shard_bytes"`
+	Runs       int          `json:"runs"`
+	Kernels    kernelStats  `json:"kernels"`
+	Codec      []codecStats `json:"codec"`
+}
+
+// medianRate runs fn under testing.Benchmark `runs` times and returns the
+// median bytes/s scaled from unitsPerOp, plus the allocs/op of the median
+// run's result.
+func medianRate(runs int, unitsPerOp float64, fn func(b *testing.B)) (rate float64, allocs int64) {
+	type sample struct {
+		rate   float64
+		allocs int64
+	}
+	samples := make([]sample, 0, runs)
+	for i := 0; i < runs; i++ {
+		r := testing.Benchmark(fn)
+		if r.N == 0 || r.T <= 0 {
+			continue
+		}
+		samples = append(samples, sample{
+			rate:   unitsPerOp * float64(r.N) / r.T.Seconds(),
+			allocs: r.AllocsPerOp(),
+		})
+	}
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].rate < samples[j].rate })
+	m := samples[len(samples)/2]
+	return m.rate, m.allocs
+}
+
+// onePass measures fn once under testing.Benchmark and returns MB/s.
+func onePass(fn func()) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	if r.N == 0 || r.T <= 0 {
+		return 0
+	}
+	return shardBytes * float64(r.N) / r.T.Seconds() / 1e6
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Float64s(v)
+	return v[len(v)/2]
+}
+
+// kernelBench measures the word-parallel kernels against the scalar
+// reference. Each pass measures a kernel and its reference back to back
+// and the speedup is the median of the per-pass ratios: adjacent
+// measurements share the host's frequency/steal conditions, so paired
+// ratios are far more stable than a ratio of independently noisy medians.
+func kernelBench(runs int) kernelStats {
+	src := make([]byte, shardBytes)
+	dst := make([]byte, shardBytes)
+	rand.New(rand.NewSource(2)).Read(src)
+	const c = 0x57
+
+	var st kernelStats
+	var maRates, maRefRates, maRatios []float64
+	var xRates, xRefRates, xRatios []float64
+	for i := 0; i < runs; i++ {
+		ma := onePass(func() { gf256.MulAddSlice(c, src, dst) })
+		maRef := onePass(func() { gf256.MulAddSliceScalar(c, src, dst) })
+		x := onePass(func() { gf256.AddSlice(src, dst) })
+		xRef := onePass(func() { gf256.MulAddSliceScalar(1, src, dst) })
+		maRates = append(maRates, ma)
+		xRates = append(xRates, x)
+		maRefRates = append(maRefRates, maRef)
+		xRefRates = append(xRefRates, xRef)
+		if maRef > 0 {
+			maRatios = append(maRatios, ma/maRef)
+		}
+		if xRef > 0 {
+			xRatios = append(xRatios, x/xRef)
+		}
+	}
+	st.MulAddMBs = median(maRates)
+	st.MulAddScalarMBs = median(maRefRates)
+	st.MulAddSpeedup = median(maRatios)
+	st.XorMBs = median(xRates)
+	st.XorScalarMBs = median(xRefRates)
+	st.XorSpeedup = median(xRatios)
+	return st
+}
+
+func codecBench(runs, k, h int) codecStats {
+	code := rse.MustNew(k, h)
+	rng := rand.New(rand.NewSource(9))
+	shards := make([][]byte, k+h)
+	for i := range shards {
+		shards[i] = make([]byte, shardBytes)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	if err := code.Encode(shards[:k], shards[k:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	st := codecStats{K: k, H: h}
+	// Encode rate in the units of Fig 1: data packets processed per
+	// second while producing h parities per k.
+	st.EncodePktsS, _ = medianRate(runs, float64(k), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := code.Encode(shards[:k], shards[k:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Decode rate: lose min(h,k) data packets each op, reconstruct from
+	// the rest. Recycled zero-length buffers keep it on the steady-state
+	// path (cached inversion, no allocation).
+	lose := h
+	if lose > k {
+		lose = k
+	}
+	var allocs int64
+	st.DecodePktsS, allocs = medianRate(runs, float64(k), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < lose; j++ {
+				shards[j] = shards[j][:0]
+			}
+			if err := code.Reconstruct(shards); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	st.DecodeAllocsOp = allocs
+	return st
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_PR2.json", "output path, or - for stdout")
+		runs = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
+	)
+	flag.Parse()
+
+	snap := snapshot{
+		PR:         2,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		ShardBytes: shardBytes,
+		Runs:       *runs,
+	}
+	fmt.Fprintln(os.Stderr, "bench: measuring GF(2^8) kernels...")
+	snap.Kernels = kernelBench(*runs)
+	for _, p := range []struct{ k, h int }{{7, 7}, {20, 5}} {
+		fmt.Fprintf(os.Stderr, "bench: measuring rse codec k=%d h=%d...\n", p.k, p.h)
+		snap.Codec = append(snap.Codec, codecBench(*runs, p.k, p.h))
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.0f MB/s = %.2fx scalar, xor %.2fx)\n",
+		*out, snap.Kernels.MulAddMBs, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup)
+}

@@ -14,6 +14,11 @@ import (
 type erasureCodec interface {
 	// EncodeParity returns parity shard j computed from the k data shards.
 	EncodeParity(j int, data [][]byte) ([]byte, error)
+	// EncodeBlocks batch-encodes nb consecutive FEC blocks: data holds
+	// nb*k data shards, parity nb*h slices which are resized and
+	// overwritten. One call validates and encodes a whole pre-encode
+	// burst instead of nb*h EncodeParity round trips.
+	EncodeBlocks(data, parity [][]byte) error
 	// Reconstruct rebuilds missing data shards in place; shards has
 	// length k+h with nil marking losses.
 	Reconstruct(shards [][]byte) error
@@ -24,14 +29,16 @@ type gf8Codec struct{ c *rse.Code }
 func (g gf8Codec) EncodeParity(j int, data [][]byte) ([]byte, error) {
 	return g.c.EncodeParity(j, data, nil)
 }
-func (g gf8Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
+func (g gf8Codec) EncodeBlocks(data, parity [][]byte) error { return g.c.EncodeBlocks(data, parity) }
+func (g gf8Codec) Reconstruct(shards [][]byte) error        { return g.c.Reconstruct(shards) }
 
 type gf16Codec struct{ c *rse16.Code }
 
 func (g gf16Codec) EncodeParity(j int, data [][]byte) ([]byte, error) {
 	return g.c.EncodeParity(j, data)
 }
-func (g gf16Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
+func (g gf16Codec) EncodeBlocks(data, parity [][]byte) error { return g.c.EncodeBlocks(data, parity) }
+func (g gf16Codec) Reconstruct(shards [][]byte) error        { return g.c.Reconstruct(shards) }
 
 // newCodec selects the backend for the configuration: GF(2^8) whenever the
 // block fits in 255 packets, GF(2^16) beyond that.

@@ -115,6 +115,10 @@ func (s *Sender) Send(msg []byte) error {
 		return fmt.Errorf("core: message needs %d TGs, exceeding MaxGroups = %d", nTG, s.cfg.MaxGroups)
 	}
 	s.groups = make([]*txGroup, nTG)
+	var flatData [][]byte
+	if s.cfg.PreEncode {
+		flatData = make([][]byte, 0, nTG*s.cfg.K)
+	}
 	for g := range s.groups {
 		tg := &txGroup{index: uint32(g), data: make([][]byte, s.cfg.K)}
 		base := g * perTG
@@ -127,19 +131,23 @@ func (s *Sender) Send(msg []byte) error {
 			tg.data[i] = shard
 		}
 		if s.cfg.PreEncode {
-			// Fig 18's improvement (i): compute every parity before the
-			// transfer starts so encoding never competes with sending.
-			tg.parities = make([][]byte, s.cfg.MaxParity)
-			for j := range tg.parities {
-				p, err := s.code.EncodeParity(j, tg.data)
-				if err != nil {
-					return err
-				}
-				tg.parities[j] = p
-				s.stats.Encoded++
-			}
+			flatData = append(flatData, tg.data...)
 		}
 		s.groups[g] = tg
+	}
+	if s.cfg.PreEncode && s.cfg.MaxParity > 0 {
+		// Fig 18's improvement (i): compute every parity before the
+		// transfer starts so encoding never competes with sending. The
+		// whole burst goes through the codec's batch entry point in one
+		// call.
+		flatParity := make([][]byte, nTG*s.cfg.MaxParity)
+		if err := s.code.EncodeBlocks(flatData, flatParity); err != nil {
+			return err
+		}
+		for g, tg := range s.groups {
+			tg.parities = flatParity[g*s.cfg.MaxParity : (g+1)*s.cfg.MaxParity : (g+1)*s.cfg.MaxParity]
+			s.stats.Encoded += s.cfg.MaxParity
+		}
 	}
 	s.ewma = float64(s.cfg.Proactive)
 	s.finLeft = s.cfg.FinCount

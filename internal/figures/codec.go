@@ -48,10 +48,16 @@ func CodecRates(k, h, packetSize int, seed int64) (encode, decode float64, err e
 	encode = float64(iters*k) / elapsed.Seconds()
 
 	// Decode throughput: lose min(h,k) data packets, reconstruct from the
-	// remaining data plus parities.
+	// remaining data plus parities. The lost shards are handed back as
+	// recycled zero-length buffers, so the loop measures the steady-state
+	// receiver path: cached inversion, no allocation.
 	lose := h
 	if lose > k {
 		lose = k
+	}
+	lostBuf := make([][]byte, lose)
+	for i := range lostBuf {
+		lostBuf[i] = make([]byte, packetSize)
 	}
 	shards := make([][]byte, k+h)
 	iters = 0
@@ -60,7 +66,7 @@ func CodecRates(k, h, packetSize int, seed int64) (encode, decode float64, err e
 	for elapsed < 60*time.Millisecond {
 		for i := 0; i < k; i++ {
 			if i < lose {
-				shards[i] = nil
+				shards[i] = lostBuf[i][:0]
 			} else {
 				shards[i] = data[i]
 			}

@@ -97,6 +97,40 @@ func Pow(a uint16, e int) uint16 {
 	return expTbl[le]
 }
 
+// xorSymbols computes dst[i] ^= src[i], the GF(2^16) sibling of gf256's
+// word-parallel XOR: the slice is re-sliced up front so bounds checks
+// vanish and the loop processes eight symbols (one 16-byte pair per two
+// registers) per iteration.
+func xorSymbols(src, dst []uint16) {
+	d := dst[:len(src)]
+	s := src
+	for len(s) >= 8 {
+		d[0] ^= s[0]
+		d[1] ^= s[1]
+		d[2] ^= s[2]
+		d[3] ^= s[3]
+		d[4] ^= s[4]
+		d[5] ^= s[5]
+		d[6] ^= s[6]
+		d[7] ^= s[7]
+		s = s[8:]
+		d = d[8:]
+	}
+	for i, v := range s {
+		d[i] ^= v
+	}
+}
+
+// AddSlice computes dst[i] ^= src[i] — unit-coefficient parity
+// accumulation, shared with the c == 1 dispatch of MulAddSlice. The
+// slices must have equal length.
+func AddSlice(src, dst []uint16) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf16: AddSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	xorSymbols(src, dst)
+}
+
 // MulAddSlice computes dst[i] ^= c*src[i] over uint16 symbols — the codec
 // kernel. The slices must have equal length.
 func MulAddSlice(c uint16, src, dst []uint16) {
@@ -107,9 +141,7 @@ func MulAddSlice(c uint16, src, dst []uint16) {
 	case 0:
 		return
 	case 1:
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		xorSymbols(src, dst)
 	default:
 		lc := logTbl[c]
 		for i, s := range src {

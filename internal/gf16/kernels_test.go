@@ -1,0 +1,100 @@
+package gf16
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mulAddScalarRef is the pre-PR byte-at-a-time (symbol-at-a-time) c == 1
+// loop, kept in the tests as the reference the unrolled XOR path must
+// match.
+func mulAddScalarRef(c uint16, src, dst []uint16) {
+	switch c {
+	case 0:
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+	default:
+		lc := logTbl[c]
+		for i, s := range src {
+			if s != 0 {
+				dst[i] ^= expTbl[lc+logTbl[s]]
+			}
+		}
+	}
+}
+
+// TestXorFastPathMatchesScalar sweeps AddSlice and the c == 1 dispatch of
+// MulAddSlice against the scalar reference across lengths around the
+// 8-symbol unroll boundary and all sub-unroll alignments.
+func TestXorFastPathMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	lengths := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 511, 512}
+	for _, n := range lengths {
+		for _, align := range []int{0, 1, 3, 7} {
+			backingSrc := make([]uint16, n+align)
+			backingDst := make([]uint16, n+align)
+			for i := range backingSrc {
+				backingSrc[i] = uint16(rng.Intn(Order))
+				backingDst[i] = uint16(rng.Intn(Order))
+			}
+			src := backingSrc[align:]
+			dst := backingDst[align:]
+
+			want := append([]uint16(nil), dst...)
+			mulAddScalarRef(1, src, want)
+
+			got := append([]uint16(nil), dst...)
+			MulAddSlice(1, src, got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("MulAddSlice(1, n=%d, align=%d) diverges at %d", n, align, i)
+				}
+			}
+
+			got = append(got[:0], dst...)
+			AddSlice(src, got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("AddSlice(n=%d, align=%d) diverges at %d", n, align, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAddSliceLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddSlice length mismatch did not panic")
+		}
+	}()
+	AddSlice(make([]uint16, 3), make([]uint16, 4))
+}
+
+// BenchmarkKernels16 measures the symbol XOR path against the scalar
+// reference; check.sh runs it with -benchtime 1x as a smoke test.
+func BenchmarkKernels16(b *testing.B) {
+	const n = 512 // symbols = 1 KiB
+	src := make([]uint16, n)
+	dst := make([]uint16, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range src {
+		src[i] = uint16(rng.Intn(Order))
+	}
+	b.Run("Xor", func(b *testing.B) {
+		b.SetBytes(2 * n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			AddSlice(src, dst)
+		}
+	})
+	b.Run("XorScalarRef", func(b *testing.B) {
+		b.SetBytes(2 * n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mulAddScalarRef(1, src, dst)
+		}
+	})
+}

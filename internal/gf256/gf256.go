@@ -64,6 +64,7 @@ func init() {
 	for a := 1; a < 256; a++ {
 		invTbl[a] = expTbl[255-logTbl[a]]
 	}
+	buildNibbleTables()
 }
 
 // mulSlow multiplies via log/exp tables; used only to seed mulTbl.
@@ -133,11 +134,58 @@ func Pow(a byte, e int) byte {
 	return expTbl[le]
 }
 
-// MulSlice sets dst[i] = c*src[i]. dst and src must have equal length; they
-// may alias. A zero coefficient zeroes dst; coefficient one copies.
+func lengthMismatch(op string, a, b int) string {
+	return fmt.Sprintf("gf256: %s length mismatch %d != %d", op, a, b)
+}
+
+// MulSlice sets dst[i] = c*src[i] with the word-parallel kernel of
+// kernels.go. dst and src must have equal length and must not alias unless
+// identical. A zero coefficient zeroes dst; coefficient one copies.
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf256: MulSlice length mismatch %d != %d", len(src), len(dst)))
+		panic(lengthMismatch("MulSlice", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		mulWords(c, src, dst)
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c*src[i], the multiply-accumulate kernel at
+// the heart of Reed-Solomon encoding and decoding, with the word-parallel
+// kernel of kernels.go. dst and src must have equal length and must not
+// alias unless identical.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(lengthMismatch("MulAddSlice", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorWords(src, dst)
+	default:
+		mulAddWords(c, src, dst)
+	}
+}
+
+// MulSliceCompact is MulSlice restricted to the shared 64 KiB product
+// table: the general case runs the byte-at-a-time row loop and no
+// per-coefficient pair table is built or touched. Callers whose coefficient
+// working set is large — the rse codec gates on the distinct-coefficient
+// count of its generator matrix — use the compact forms, because cycling
+// through many 128 KiB pair tables evicts them faster than they pay off
+// (the word kernel drops to ~0.25x the scalar loop beyond ~64 live
+// coefficients; see BenchmarkKernels and DESIGN.md).
+func MulSliceCompact(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(lengthMismatch("MulSliceCompact", len(src), len(dst)))
 	}
 	switch c {
 	case 0:
@@ -154,20 +202,18 @@ func MulSlice(c byte, src, dst []byte) {
 	}
 }
 
-// MulAddSlice computes dst[i] ^= c*src[i], the multiply-accumulate kernel at
-// the heart of Reed-Solomon encoding and decoding. dst and src must have
-// equal length and must not alias unless identical.
-func MulAddSlice(c byte, src, dst []byte) {
+// MulAddSliceCompact is MulAddSlice restricted to the shared 64 KiB product
+// table; see MulSliceCompact. The c == 1 case still runs the word-parallel
+// XOR — it needs no per-coefficient table.
+func MulAddSliceCompact(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf256: MulAddSlice length mismatch %d != %d", len(src), len(dst)))
+		panic(lengthMismatch("MulAddSliceCompact", len(src), len(dst)))
 	}
 	switch c {
 	case 0:
 		return
 	case 1:
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		xorWords(src, dst)
 	default:
 		tbl := &mulTbl[c]
 		for i, s := range src {
@@ -176,8 +222,13 @@ func MulAddSlice(c byte, src, dst []byte) {
 	}
 }
 
-// AddSlice computes dst[i] ^= src[i].
-func AddSlice(src, dst []byte) { MulAddSlice(1, src, dst) }
+// AddSlice computes dst[i] ^= src[i], 64 bits at a time.
+func AddSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(lengthMismatch("AddSlice", len(src), len(dst)))
+	}
+	xorWords(src, dst)
+}
 
 // DotProduct returns sum_i a[i]*b[i] over the field.
 func DotProduct(a, b []byte) byte {

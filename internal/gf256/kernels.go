@@ -1,0 +1,317 @@
+package gf256
+
+// Word-parallel multiply-accumulate kernels.
+//
+// The byte-at-a-time kernels (kept below as MulAddSliceScalar and
+// MulSliceScalar — the correctness oracle and the baseline the benchmark
+// gate compares against) spend most of their time on per-byte loads,
+// stores and bounds checks rather than on field arithmetic. The kernels
+// here instead move 64 bits per memory operation. Three table layouts are
+// implemented; BenchmarkKernels measures all of them and DESIGN.md
+// records why the pair-table kernel is the production dispatch:
+//
+//   - Pair tables (production): for each coefficient c a lazily built
+//     65536-entry table maps a byte *pair* (b0, b1) to the packed pair of
+//     products (c*b0, c*b1). A 64-bit word then needs only four table
+//     lookups, one 64-bit load and one 64-bit store — half the lookups of
+//     the full-row word kernel and a quarter of the split-nibble one.
+//     This is the layout GF-Complete calls SPLIT(8,8). Tables are 128 KiB
+//     per coefficient, built on first use and published with an atomic
+//     pointer (32 MiB ceiling if all 254 non-trivial coefficients are
+//     ever exercised). The layout only pays while the live tables fit in
+//     cache: measured on the reference host it beats the scalar loop up
+//     to roughly 32 distinct coefficients and collapses to ~0.25x beyond
+//     64, so the rse codec counts the distinct coefficients of each
+//     generator or decode matrix and falls back to the *Compact forms
+//     (gf256.go) past its budget.
+//
+//   - Split-nibble (ablation): two 16-entry tables per coefficient
+//     (mulLo, mulHi — 8 KiB total, always L1-resident), the SWAR analogue
+//     of the PSHUFB trick every SIMD erasure coder uses: c*x =
+//     c*(x & 0x0f) ^ c*(x & 0xf0). Sixteen lookups per word; the
+//     register-assembly cost makes it slower than scalar in pure Go on
+//     the hosts measured, which is why it is not the default.
+//
+//   - Full-row word (ablation): eight lookups per word into the
+//     coefficient's 256-entry row of mulTbl.
+//
+// All kernels re-slice up front (d := dst[:len(src)]) so the compiler
+// drops bounds checks, go through encoding/binary — no unsafe, no
+// goroutines — and are bit-identical to the scalar reference on every
+// input (see TestKernelsMatchScalar).
+//
+// The c == 1 case (pure XOR: parity accumulation with unit coefficient,
+// AddSlice) skips the tables entirely and XORs four words per iteration.
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+var (
+	// mulLo[c][x] = c*x for x in [0,16): products of the low nibble.
+	mulLo [256][16]byte
+	// mulHi[c][x] = c*(x<<4): products of the high nibble.
+	mulHi [256][16]byte
+	// pairTbls[c] points to the coefficient's pair-product table:
+	// entry b0|b1<<8 holds c*b0 | (c*b1)<<8. Built lazily by
+	// pairTableFor, published atomically; never mutated after publish.
+	pairTbls [256]atomic.Pointer[[65536]uint16]
+)
+
+// buildNibbleTables fills the split-nibble product tables; called from the
+// package init in gf256.go once the log/exp tables exist.
+func buildNibbleTables() {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 16; x++ {
+			mulLo[c][x] = mulSlow(byte(c), byte(x))
+			mulHi[c][x] = mulSlow(byte(c), byte(x<<4))
+		}
+	}
+}
+
+// pairTableFor returns the pair-product table for c, building it on first
+// use. Concurrent first calls may both build; the CompareAndSwap keeps one
+// winner and the duplicate is garbage-collected, so no lock is needed.
+func pairTableFor(c byte) *[65536]uint16 {
+	if t := pairTbls[c].Load(); t != nil {
+		return t
+	}
+	t := new([65536]uint16)
+	row := &mulTbl[c]
+	for b0 := 0; b0 < 256; b0++ {
+		p := uint16(row[b0])
+		for b1 := 0; b1 < 256; b1++ {
+			t[b0|b1<<8] = p | uint16(row[b1])<<8
+		}
+	}
+	pairTbls[c].CompareAndSwap(nil, t)
+	return pairTbls[c].Load()
+}
+
+// xorWords computes dst[i] ^= src[i] one 64-bit word at a time, 4x
+// unrolled. len(dst) must be >= len(src); extra dst bytes are untouched.
+func xorWords(src, dst []byte) {
+	d := dst[:len(src)]
+	s := src
+	for len(s) >= 32 {
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^binary.LittleEndian.Uint64(s))
+		binary.LittleEndian.PutUint64(d[8:], binary.LittleEndian.Uint64(d[8:])^binary.LittleEndian.Uint64(s[8:]))
+		binary.LittleEndian.PutUint64(d[16:], binary.LittleEndian.Uint64(d[16:])^binary.LittleEndian.Uint64(s[16:]))
+		binary.LittleEndian.PutUint64(d[24:], binary.LittleEndian.Uint64(d[24:])^binary.LittleEndian.Uint64(s[24:]))
+		s = s[32:]
+		d = d[32:]
+	}
+	for len(s) >= 8 {
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^binary.LittleEndian.Uint64(s))
+		s = s[8:]
+		d = d[8:]
+	}
+	for i, v := range s {
+		d[i] ^= v
+	}
+}
+
+// mulAddWords computes dst[i] ^= c*src[i] with the pair-table word kernel,
+// two words per iteration; c must not be 0 or 1 (dispatched in
+// MulAddSlice). The &0xffff masks prove the table indices in range, so the
+// lookups compile without bounds checks.
+func mulAddWords(c byte, src, dst []byte) {
+	t := pairTableFor(c)
+	d := dst[:len(src)]
+	s := src
+	for len(s) >= 16 {
+		x := binary.LittleEndian.Uint64(s)
+		y := binary.LittleEndian.Uint64(s[8:])
+		w := uint64(t[x&0xffff]) | uint64(t[(x>>16)&0xffff])<<16 |
+			uint64(t[(x>>32)&0xffff])<<32 | uint64(t[x>>48])<<48
+		v := uint64(t[y&0xffff]) | uint64(t[(y>>16)&0xffff])<<16 |
+			uint64(t[(y>>32)&0xffff])<<32 | uint64(t[y>>48])<<48
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^w)
+		binary.LittleEndian.PutUint64(d[8:], binary.LittleEndian.Uint64(d[8:])^v)
+		s = s[16:]
+		d = d[16:]
+	}
+	if len(s) >= 8 {
+		x := binary.LittleEndian.Uint64(s)
+		w := uint64(t[x&0xffff]) | uint64(t[(x>>16)&0xffff])<<16 |
+			uint64(t[(x>>32)&0xffff])<<32 | uint64(t[x>>48])<<48
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^w)
+		s = s[8:]
+		d = d[8:]
+	}
+	if len(s) > 0 {
+		row := &mulTbl[c]
+		for i, v := range s {
+			d[i] ^= row[v]
+		}
+	}
+}
+
+// mulWords computes dst[i] = c*src[i] with the pair-table word kernel;
+// c must not be 0 or 1 (dispatched in MulSlice).
+func mulWords(c byte, src, dst []byte) {
+	t := pairTableFor(c)
+	d := dst[:len(src)]
+	s := src
+	for len(s) >= 16 {
+		x := binary.LittleEndian.Uint64(s)
+		y := binary.LittleEndian.Uint64(s[8:])
+		w := uint64(t[x&0xffff]) | uint64(t[(x>>16)&0xffff])<<16 |
+			uint64(t[(x>>32)&0xffff])<<32 | uint64(t[x>>48])<<48
+		v := uint64(t[y&0xffff]) | uint64(t[(y>>16)&0xffff])<<16 |
+			uint64(t[(y>>32)&0xffff])<<32 | uint64(t[y>>48])<<48
+		binary.LittleEndian.PutUint64(d, w)
+		binary.LittleEndian.PutUint64(d[8:], v)
+		s = s[16:]
+		d = d[16:]
+	}
+	if len(s) >= 8 {
+		x := binary.LittleEndian.Uint64(s)
+		w := uint64(t[x&0xffff]) | uint64(t[(x>>16)&0xffff])<<16 |
+			uint64(t[(x>>32)&0xffff])<<32 | uint64(t[x>>48])<<48
+		binary.LittleEndian.PutUint64(d, w)
+		s = s[8:]
+		d = d[8:]
+	}
+	if len(s) > 0 {
+		row := &mulTbl[c]
+		for i, v := range s {
+			d[i] = row[v]
+		}
+	}
+}
+
+// mulWord returns the eight GF(2^8) products c*b for the packed bytes of
+// x, using the coefficient's split-nibble tables. The &15 masks prove the
+// indices in range, so the lookups compile without bounds checks.
+func mulWord(lo, hi *[16]byte, x uint64) uint64 {
+	return uint64(lo[x&15]^hi[(x>>4)&15]) |
+		uint64(lo[(x>>8)&15]^hi[(x>>12)&15])<<8 |
+		uint64(lo[(x>>16)&15]^hi[(x>>20)&15])<<16 |
+		uint64(lo[(x>>24)&15]^hi[(x>>28)&15])<<24 |
+		uint64(lo[(x>>32)&15]^hi[(x>>36)&15])<<32 |
+		uint64(lo[(x>>40)&15]^hi[(x>>44)&15])<<40 |
+		uint64(lo[(x>>48)&15]^hi[(x>>52)&15])<<48 |
+		uint64(lo[(x>>56)&15]^hi[(x>>60)&15])<<56
+}
+
+// mulAddWordsNibble is the split-nibble ablation variant of mulAddWords:
+// word-at-a-time loads/stores with sixteen L1-resident nibble lookups per
+// word, 4x unrolled. Measured slower than the pair-table kernel in pure
+// Go (the sixteen lookups plus register assembly dominate), so it is kept
+// for BenchmarkKernels and the equivalence tests, not the dispatch.
+func mulAddWordsNibble(c byte, src, dst []byte) {
+	lo, hi := &mulLo[c], &mulHi[c]
+	d := dst[:len(src)]
+	s := src
+	for len(s) >= 32 {
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^mulWord(lo, hi, binary.LittleEndian.Uint64(s)))
+		binary.LittleEndian.PutUint64(d[8:], binary.LittleEndian.Uint64(d[8:])^mulWord(lo, hi, binary.LittleEndian.Uint64(s[8:])))
+		binary.LittleEndian.PutUint64(d[16:], binary.LittleEndian.Uint64(d[16:])^mulWord(lo, hi, binary.LittleEndian.Uint64(s[16:])))
+		binary.LittleEndian.PutUint64(d[24:], binary.LittleEndian.Uint64(d[24:])^mulWord(lo, hi, binary.LittleEndian.Uint64(s[24:])))
+		s = s[32:]
+		d = d[32:]
+	}
+	for len(s) >= 8 {
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^mulWord(lo, hi, binary.LittleEndian.Uint64(s)))
+		s = s[8:]
+		d = d[8:]
+	}
+	if len(s) > 0 {
+		tbl := &mulTbl[c]
+		for i, v := range s {
+			d[i] ^= tbl[v]
+		}
+	}
+}
+
+// mulWordsNibble is the split-nibble ablation counterpart of mulWords.
+func mulWordsNibble(c byte, src, dst []byte) {
+	lo, hi := &mulLo[c], &mulHi[c]
+	d := dst[:len(src)]
+	s := src
+	for len(s) >= 8 {
+		binary.LittleEndian.PutUint64(d, mulWord(lo, hi, binary.LittleEndian.Uint64(s)))
+		s = s[8:]
+		d = d[8:]
+	}
+	if len(s) > 0 {
+		tbl := &mulTbl[c]
+		for i, v := range s {
+			d[i] = tbl[v]
+		}
+	}
+}
+
+// mulAddWordsTable is the full-row ablation: word-at-a-time loads/stores
+// with eight lookups per word into the coefficient's 256-entry product
+// row (twice the lookups of the pair kernel, a 512x smaller working set).
+// Kept for BenchmarkKernels to document the pair-table choice.
+func mulAddWordsTable(c byte, src, dst []byte) {
+	tbl := &mulTbl[c]
+	d := dst[:len(src)]
+	s := src
+	for len(s) >= 8 {
+		x := binary.LittleEndian.Uint64(s)
+		w := uint64(tbl[x&0xff]) |
+			uint64(tbl[(x>>8)&0xff])<<8 |
+			uint64(tbl[(x>>16)&0xff])<<16 |
+			uint64(tbl[(x>>24)&0xff])<<24 |
+			uint64(tbl[(x>>32)&0xff])<<32 |
+			uint64(tbl[(x>>40)&0xff])<<40 |
+			uint64(tbl[(x>>48)&0xff])<<48 |
+			uint64(tbl[(x>>56)&0xff])<<56
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^w)
+		s = s[8:]
+		d = d[8:]
+	}
+	for i, v := range s {
+		d[i] ^= tbl[v]
+	}
+}
+
+// MulAddSliceScalar is the byte-at-a-time multiply-accumulate kernel that
+// predates the word-parallel path: dst[i] ^= c*src[i] through the 64 KiB
+// product table. It is retained as the reference implementation — the
+// equivalence tests assert the word kernels match it byte for byte, and
+// BenchmarkKernels reports the speedup of MulAddSlice against it.
+func MulAddSliceScalar(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(lengthMismatch("MulAddSliceScalar", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+	default:
+		tbl := &mulTbl[c]
+		for i, s := range src {
+			dst[i] ^= tbl[s]
+		}
+	}
+}
+
+// MulSliceScalar is the byte-at-a-time counterpart of MulSlice, retained
+// as the reference implementation for the word-parallel kernel.
+func MulSliceScalar(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(lengthMismatch("MulSliceScalar", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		tbl := &mulTbl[c]
+		for i, s := range src {
+			dst[i] = tbl[s]
+		}
+	}
+}

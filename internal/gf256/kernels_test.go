@@ -1,0 +1,178 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestKernelsMatchScalar sweeps the word-parallel kernels against the
+// byte-at-a-time scalar reference across every coefficient, a ladder of
+// lengths around the 8- and 32-byte loop boundaries (including lengths not
+// divisible by 8) and all 8 sub-word alignments of both src and dst.
+func TestKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 255, 256, 1000, 1024}
+	coeffs := make([]byte, 0, 256)
+	for c := 0; c < 256; c++ {
+		coeffs = append(coeffs, byte(c))
+	}
+	for _, n := range lengths {
+		for _, align := range []int{0, 1, 3, 7} {
+			backingSrc := make([]byte, n+align)
+			backingDst := make([]byte, n+align)
+			for _, c := range coeffs {
+				rng.Read(backingSrc)
+				rng.Read(backingDst)
+				src := backingSrc[align:]
+				dst := backingDst[align:]
+
+				wantAdd := append([]byte(nil), dst...)
+				MulAddSliceScalar(c, src, wantAdd)
+				gotAdd := append([]byte(nil), dst...)
+				MulAddSlice(c, src, gotAdd)
+				if !bytes.Equal(gotAdd, wantAdd) {
+					t.Fatalf("MulAddSlice(c=%#x, n=%d, align=%d) diverges from scalar", c, n, align)
+				}
+
+				wantMul := append([]byte(nil), dst...)
+				MulSliceScalar(c, src, wantMul)
+				gotMul := append([]byte(nil), dst...)
+				MulSlice(c, src, gotMul)
+				if !bytes.Equal(gotMul, wantMul) {
+					t.Fatalf("MulSlice(c=%#x, n=%d, align=%d) diverges from scalar", c, n, align)
+				}
+
+				gotTbl := append([]byte(nil), dst...)
+				mulAddWordsTable(c, src, gotTbl)
+				if !bytes.Equal(gotTbl, wantAdd) {
+					t.Fatalf("mulAddWordsTable(c=%#x, n=%d, align=%d) diverges from scalar", c, n, align)
+				}
+
+				gotNib := append([]byte(nil), dst...)
+				mulAddWordsNibble(c, src, gotNib)
+				if !bytes.Equal(gotNib, wantAdd) {
+					t.Fatalf("mulAddWordsNibble(c=%#x, n=%d, align=%d) diverges from scalar", c, n, align)
+				}
+
+				gotNibMul := append([]byte(nil), dst...)
+				mulWordsNibble(c, src, gotNibMul)
+				if !bytes.Equal(gotNibMul, wantMul) {
+					t.Fatalf("mulWordsNibble(c=%#x, n=%d, align=%d) diverges from scalar", c, n, align)
+				}
+
+				gotAddC := append([]byte(nil), dst...)
+				MulAddSliceCompact(c, src, gotAddC)
+				if !bytes.Equal(gotAddC, wantAdd) {
+					t.Fatalf("MulAddSliceCompact(c=%#x, n=%d, align=%d) diverges from scalar", c, n, align)
+				}
+
+				gotMulC := append([]byte(nil), dst...)
+				MulSliceCompact(c, src, gotMulC)
+				if !bytes.Equal(gotMulC, wantMul) {
+					t.Fatalf("MulSliceCompact(c=%#x, n=%d, align=%d) diverges from scalar", c, n, align)
+				}
+			}
+		}
+	}
+}
+
+// TestNibbleTablesConsistent pins the split-nibble identity the word kernel
+// relies on: c*x == mulLo[c][x&15] ^ mulHi[c][x>>4] for every (c, x).
+func TestNibbleTablesConsistent(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 256; x++ {
+			want := Mul(byte(c), byte(x))
+			got := mulLo[c][x&15] ^ mulHi[c][x>>4]
+			if got != want {
+				t.Fatalf("nibble split of %#x*%#x = %#x, want %#x", c, x, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelsIdenticalAlias checks the documented aliasing contract:
+// src and dst may be the same slice.
+func TestKernelsIdenticalAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{5, 32, 100} {
+		for _, c := range []byte{0, 1, 2, 0x53} {
+			buf := make([]byte, n)
+			rng.Read(buf)
+			want := append([]byte(nil), buf...)
+			MulAddSliceScalar(c, want, want)
+			got := append([]byte(nil), buf...)
+			MulAddSlice(c, got, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddSlice self-alias (c=%#x, n=%d) diverges", c, n)
+			}
+
+			want = append([]byte(nil), buf...)
+			MulSliceScalar(c, want, want)
+			got = append([]byte(nil), buf...)
+			MulSlice(c, got, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice self-alias (c=%#x, n=%d) diverges", c, n)
+			}
+		}
+	}
+}
+
+func TestAddSliceMatchesXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 7, 8, 9, 33, 1024} {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		AddSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("AddSlice(n=%d) wrong", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddSlice length mismatch did not panic")
+		}
+	}()
+	AddSlice(make([]byte, 3), make([]byte, 4))
+}
+
+// BenchmarkKernels is the micro-benchmark suite behind the Fig-1 hot path:
+// the word-parallel kernels against the scalar reference they replaced
+// (the acceptance gate of PR 2 requires >= 2x on MulAdd at 1 KiB), plus
+// the two ablation layouts documenting the pair-table choice. check.sh
+// runs it with -benchtime 1x so it cannot bit-rot.
+func BenchmarkKernels(b *testing.B) {
+	sizes := []int{64, 1024, 4096}
+	const c = 0x57
+	for _, n := range sizes {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rand.New(rand.NewSource(2)).Read(src)
+		pairTableFor(c) // build outside the timed region
+		name := func(op string) string { return fmt.Sprintf("%s/%dB", op, n) }
+		run := func(op string, f func()) {
+			b.Run(name(op), func(b *testing.B) {
+				b.SetBytes(int64(n))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					f()
+				}
+			})
+		}
+		run("MulAdd", func() { MulAddSlice(c, src, dst) })
+		run("MulAddScalarRef", func() { MulAddSliceScalar(c, src, dst) })
+		run("MulAddNibbleWord", func() { mulAddWordsNibble(c, src, dst) })
+		run("MulAddFullTableWord", func() { mulAddWordsTable(c, src, dst) })
+		run("Mul", func() { MulSlice(c, src, dst) })
+		run("MulScalarRef", func() { MulSliceScalar(c, src, dst) })
+		run("Xor", func() { AddSlice(src, dst) })
+		run("XorScalarRef", func() { MulAddSliceScalar(1, src, dst) })
+	}
+}

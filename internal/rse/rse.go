@@ -17,11 +17,21 @@
 // parity packet depends only on byte position s of the data packets, i.e.
 // the coder runs len(packet) parallel GF(2^8) codes exactly as described by
 // McAuley (symbol size m = 8).
+//
+// Decoding keeps two caches on the hot path (see DESIGN.md "Codec
+// performance"): an LRU-bounded inversion cache keyed by the block's
+// present-shard bitmap, so a repeated loss pattern skips the O(k^3)
+// Gaussian elimination, and a scratch free-list for the decode index
+// slices, so steady-state Reconstruct performs no heap allocations when
+// the caller also recycles the output shards (pass a missing shard as a
+// zero-length slice with spare capacity instead of nil).
 package rse
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 
 	"rmfec/internal/gf256"
 )
@@ -29,6 +39,41 @@ import (
 // MaxBlock is the largest supported FEC block size n = k+h, bounded by the
 // number of distinct evaluation points in GF(2^8).
 const MaxBlock = 256
+
+// invCacheCap bounds the inversion cache: at ~k*k bytes per entry the
+// cache tops out around 128 * 20^2 = 50 KiB at the paper's k=20 operating
+// point. Real multicast loss is bursty and strongly repeats patterns
+// within a session, so a small LRU captures nearly all reuse.
+const invCacheCap = 128
+
+// pairCoeffBudget caps the number of distinct non-trivial coefficients a
+// matrix may use before the codec abandons gf256's pair-table word kernels
+// for the compact shared-table loop. Each pair table is 128 KiB; measured
+// on the reference host the word kernel beats the scalar loop while the
+// live tables fit in cache (~1.2x at 8 coefficients) but collapses to
+// ~0.25x once the rotation exceeds the cache (~64+ coefficients). 32
+// tables = 4 MiB keeps the paper's operating points (k=7 uses <= 27
+// distinct coefficients, k=20 with h <= 4 uses 19) on the fast path and
+// sends wide codes (k=100 uses 139+) down the compact one.
+const pairCoeffBudget = 32
+
+// wideKernelOK reports whether the pair-table word kernels pay off for a
+// matrix: true when the count of distinct coefficients outside {0, 1}
+// (the only values that consult a pair table) is within pairCoeffBudget.
+func wideKernelOK(m *gf256.Matrix) bool {
+	var seen [256]bool
+	distinct := 0
+	for _, co := range m.Data {
+		if co > 1 && !seen[co] {
+			seen[co] = true
+			distinct++
+			if distinct > pairCoeffBudget {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // Errors returned by the codec.
 var (
@@ -38,11 +83,38 @@ var (
 	ErrBadParityIndex = errors.New("rse: parity index out of range")
 )
 
-// Code is a systematic (n, k) Reed-Solomon erasure code. It is immutable
-// after construction and safe for concurrent use.
+// Code is a systematic (n, k) Reed-Solomon erasure code. The generator is
+// immutable after construction; the decode-side caches are guarded by an
+// internal mutex, so a Code is safe for concurrent use.
 type Code struct {
 	k, h   int
 	parity *gf256.Matrix // h x k parity generator rows of G = [I; P]
+	// wideEncode selects the pair-table word kernels for encoding; set at
+	// construction iff the generator's coefficient diversity is within
+	// pairCoeffBudget (decode matrices carry their own flag per cache
+	// entry).
+	wideEncode bool
+
+	mu       sync.Mutex
+	invCache map[shardBitmap]*invCacheEntry
+	tick     uint64           // LRU clock for invCache
+	scratch  []*decodeScratch // free-list of decode scratch
+}
+
+// shardBitmap records which of the n <= 256 shards are present; it keys
+// the inversion cache (the decode matrix is a pure function of it).
+type shardBitmap [4]uint64
+
+func (b *shardBitmap) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+type invCacheEntry struct {
+	inv  *gf256.Matrix
+	wide bool // decode matrix diversity within pairCoeffBudget
+	tick uint64
+}
+
+type decodeScratch struct {
+	missing, chosen []int
 }
 
 // New returns a code with k data shards and h parity shards per block.
@@ -58,6 +130,12 @@ func New(k, h int) (*Code, error) {
 	if n > MaxBlock {
 		return nil, fmt.Errorf("rse: block size k+h = %d exceeds %d", n, MaxBlock)
 	}
+	if h == 0 {
+		// Degenerate code with no parities; Encode is a no-op and
+		// Reconstruct can only verify completeness, so skip the O(k^3)
+		// Vandermonde construction and inversion entirely.
+		return &Code{k: k, h: 0}, nil
+	}
 	v := gf256.Vandermonde(n, k, 0)
 	topRows := make([]int, k)
 	for i := range topRows {
@@ -69,17 +147,13 @@ func New(k, h int) (*Code, error) {
 		// is always invertible.
 		return nil, fmt.Errorf("rse: internal construction failure: %w", err)
 	}
-	if h == 0 {
-		// Degenerate code with no parities; Encode is a no-op and
-		// Reconstruct can only verify completeness.
-		return &Code{k: k, h: 0}, nil
-	}
 	g := v.Mul(topInv)
 	bottom := make([]int, h)
 	for j := range bottom {
 		bottom[j] = k + j
 	}
-	return &Code{k: k, h: h, parity: g.SubMatrix(bottom)}, nil
+	parity := g.SubMatrix(bottom)
+	return &Code{k: k, h: h, parity: parity, wideEncode: wideKernelOK(parity)}, nil
 }
 
 // MustNew is New, panicking on error; for statically valid parameters.
@@ -118,38 +192,111 @@ func checkSizes(shards [][]byte) (size int, err error) {
 	return size, nil
 }
 
+// checkSizesSparse is checkSizes under Reconstruct's missing-shard
+// contract: a shard is missing if it is nil OR zero-length (the latter
+// lets callers hand in recycled buffers with spare capacity).
+func checkSizesSparse(shards [][]byte) (size int, err error) {
+	size = -1
+	for _, s := range shards {
+		if len(s) == 0 {
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, ErrShardSize
+		}
+	}
+	if size < 0 {
+		return 0, ErrTooFewShards
+	}
+	return size, nil
+}
+
+// validateEncode checks the data-shard slice for Encode/EncodeParity/
+// Verify once, so the per-parity loops can run unchecked.
+func (c *Code) validateEncode(data [][]byte) (size int, err error) {
+	if len(data) != c.k {
+		return 0, fmt.Errorf("%w: %d data shards, want %d", ErrBadShardCount, len(data), c.k)
+	}
+	for _, d := range data {
+		if d == nil {
+			return 0, fmt.Errorf("%w: nil data shard", ErrBadShardCount)
+		}
+	}
+	return checkSizes(data)
+}
+
+// encodeRow writes parity row j over the validated data shards into dst,
+// which must already have the shard length. The first generator column is
+// applied with MulSlice — overwriting dst — so no zero-fill pass is
+// needed before the multiply-accumulate sweep.
+func (c *Code) encodeRow(j int, data [][]byte, dst []byte) {
+	row := c.parity.Row(j)
+	if c.wideEncode {
+		gf256.MulSlice(row[0], data[0], dst)
+		for i := 1; i < c.k; i++ {
+			gf256.MulAddSlice(row[i], data[i], dst)
+		}
+		return
+	}
+	gf256.MulSliceCompact(row[0], data[0], dst)
+	for i := 1; i < c.k; i++ {
+		gf256.MulAddSliceCompact(row[i], data[i], dst)
+	}
+}
+
+// sizeFor resizes dst to size, reusing its capacity when possible. The
+// contents are left arbitrary; callers overwrite via encodeRow/MulSlice.
+func sizeFor(dst []byte, size int) []byte {
+	if cap(dst) < size {
+		return make([]byte, size)
+	}
+	return dst[:size]
+}
+
 // Encode computes all h parity shards from the k data shards. data must
 // hold exactly k non-nil equal-length slices; parity must hold exactly h
 // slices which are resized (reallocated if needed) to the data length and
 // overwritten. The amount of work is proportional to k*h*len(shard).
 func (c *Code) Encode(data, parity [][]byte) error {
-	if len(data) != c.k {
-		return fmt.Errorf("%w: %d data shards, want %d", ErrBadShardCount, len(data), c.k)
-	}
 	if len(parity) != c.h {
 		return fmt.Errorf("%w: %d parity shards, want %d", ErrBadShardCount, len(parity), c.h)
 	}
-	for _, d := range data {
-		if d == nil {
-			return fmt.Errorf("%w: nil data shard", ErrBadShardCount)
-		}
-	}
-	size, err := checkSizes(data)
+	size, err := c.validateEncode(data)
 	if err != nil {
 		return err
 	}
 	for j := 0; j < c.h; j++ {
-		if cap(parity[j]) < size {
-			parity[j] = make([]byte, size)
-		} else {
-			parity[j] = parity[j][:size]
-			for i := range parity[j] {
-				parity[j][i] = 0
-			}
+		parity[j] = sizeFor(parity[j], size)
+		c.encodeRow(j, data, parity[j])
+	}
+	return nil
+}
+
+// EncodeBlocks encodes nb consecutive FEC blocks in one call: data holds
+// nb*k data shards (block b's shards at [b*k, (b+1)*k)) and parity holds
+// nb*h parity slices, resized and overwritten like Encode. This is the
+// batch entry point for senders that pre-encode many TGs at once; it
+// validates each block once and then runs the unchecked row loop.
+func (c *Code) EncodeBlocks(data, parity [][]byte) error {
+	if c.k == 0 || len(data)%c.k != 0 {
+		return fmt.Errorf("%w: %d data shards, want a multiple of %d", ErrBadShardCount, len(data), c.k)
+	}
+	nb := len(data) / c.k
+	if len(parity) != nb*c.h {
+		return fmt.Errorf("%w: %d parity shards, want %d", ErrBadShardCount, len(parity), nb*c.h)
+	}
+	for b := 0; b < nb; b++ {
+		blockData := data[b*c.k : (b+1)*c.k]
+		size, err := c.validateEncode(blockData)
+		if err != nil {
+			return fmt.Errorf("block %d: %w", b, err)
 		}
-		row := c.parity.Row(j)
-		for i := 0; i < c.k; i++ {
-			gf256.MulAddSlice(row[i], data[i], parity[j])
+		blockParity := parity[b*c.h : (b+1)*c.h]
+		for j := 0; j < c.h; j++ {
+			blockParity[j] = sizeFor(blockParity[j], size)
+			c.encodeRow(j, blockData, blockParity[j])
 		}
 	}
 	return nil
@@ -163,53 +310,110 @@ func (c *Code) EncodeParity(j int, data [][]byte, dst []byte) ([]byte, error) {
 	if j < 0 || j >= c.h {
 		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadParityIndex, j, c.h)
 	}
-	if len(data) != c.k {
-		return nil, fmt.Errorf("%w: %d data shards, want %d", ErrBadShardCount, len(data), c.k)
-	}
-	size, err := checkSizes(data)
+	size, err := c.validateEncode(data)
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range data {
-		if d == nil {
-			return nil, fmt.Errorf("%w: nil data shard", ErrBadShardCount)
-		}
-	}
-	if cap(dst) < size {
-		dst = make([]byte, size)
-	} else {
-		dst = dst[:size]
-		for i := range dst {
-			dst[i] = 0
-		}
-	}
-	row := c.parity.Row(j)
-	for i := 0; i < c.k; i++ {
-		gf256.MulAddSlice(row[i], data[i], dst)
-	}
+	dst = sizeFor(dst, size)
+	c.encodeRow(j, data, dst)
 	return dst, nil
 }
 
+// getScratch pops a decode scratch from the free-list, allocating on
+// first use.
+func (c *Code) getScratch() *decodeScratch {
+	c.mu.Lock()
+	var sc *decodeScratch
+	if n := len(c.scratch); n > 0 {
+		sc = c.scratch[n-1]
+		c.scratch = c.scratch[:n-1]
+	}
+	c.mu.Unlock()
+	if sc == nil {
+		sc = &decodeScratch{
+			missing: make([]int, 0, c.k),
+			chosen:  make([]int, 0, c.k),
+		}
+	}
+	return sc
+}
+
+func (c *Code) putScratch(sc *decodeScratch) {
+	c.mu.Lock()
+	c.scratch = append(c.scratch, sc)
+	c.mu.Unlock()
+}
+
+// cachedInverse returns the decode inverse for the given present-shard
+// bitmap and its kernel-choice flag, or nil on a miss. Hits refresh the
+// entry's LRU tick.
+func (c *Code) cachedInverse(key shardBitmap) (inv *gf256.Matrix, wide bool) {
+	c.mu.Lock()
+	if e := c.invCache[key]; e != nil {
+		c.tick++
+		e.tick = c.tick
+		inv, wide = e.inv, e.wide
+	}
+	c.mu.Unlock()
+	return inv, wide
+}
+
+// storeInverse inserts a freshly computed decode inverse, evicting the
+// least-recently-used entry once the cache is full. The entry's kernel
+// choice is decided here, once per erasure pattern.
+func (c *Code) storeInverse(key shardBitmap, inv *gf256.Matrix, wide bool) {
+	c.mu.Lock()
+	if c.invCache == nil {
+		c.invCache = make(map[shardBitmap]*invCacheEntry, invCacheCap)
+	}
+	if _, ok := c.invCache[key]; !ok && len(c.invCache) >= invCacheCap {
+		var oldestKey shardBitmap
+		var oldest uint64
+		first := true
+		for k, e := range c.invCache {
+			if first || e.tick < oldest {
+				oldest = e.tick
+				oldestKey = k
+				first = false
+			}
+		}
+		delete(c.invCache, oldestKey)
+	}
+	c.tick++
+	c.invCache[key] = &invCacheEntry{inv: inv, wide: wide, tick: c.tick}
+	c.mu.Unlock()
+}
+
 // Reconstruct rebuilds every missing data shard in place. shards must have
-// length n = k+h; missing shards are nil, present shards must share one
-// length. Data shards occupy indices [0,k), parities [k,n). At least k
-// shards must be present. Missing parity shards are left nil (recompute
-// them with Encode if needed). The work is proportional to the number of
-// missing data shards, matching the paper's observation that decoding
-// overhead is proportional to the loss count l.
+// length n = k+h; missing shards are nil or zero-length, present shards
+// must share one (non-zero) length. Data shards occupy indices [0,k),
+// parities [k,n). At least k shards must be present. Missing parity
+// shards are left untouched (recompute them with Encode if needed). The
+// work is proportional to the number of missing data shards, matching the
+// paper's observation that decoding overhead is proportional to the loss
+// count l.
+//
+// Allocation contract: a missing shard passed as a zero-length slice with
+// capacity >= the shard length is rebuilt into its own backing array, so
+// a caller that recycles shard buffers makes steady-state Reconstruct
+// allocation-free once the loss pattern's inverse is cached (see
+// TestReconstructSteadyStateAllocs). Missing shards passed as nil are
+// freshly allocated as before.
 func (c *Code) Reconstruct(shards [][]byte) error {
 	n := c.N()
 	if len(shards) != n {
 		return fmt.Errorf("%w: %d shards, want %d", ErrBadShardCount, len(shards), n)
 	}
-	size, err := checkSizes(shards)
+	size, err := checkSizesSparse(shards)
 	if err != nil {
 		return err
 	}
 
-	missing := make([]int, 0, c.k)
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	missing := sc.missing[:0]
 	for i := 0; i < c.k; i++ {
-		if shards[i] == nil {
+		if len(shards[i]) == 0 {
 			missing = append(missing, i)
 		}
 	}
@@ -218,44 +422,63 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	}
 
 	// Pick k present shards, preferring data shards (their generator rows
-	// are unit vectors, which keeps the decode matrix sparse).
-	chosen := make([]int, 0, c.k)
+	// are unit vectors, which keeps the decode matrix sparse), and build
+	// the present-shard bitmap that keys the inversion cache.
+	chosen := sc.chosen[:0]
+	var key shardBitmap
 	for i := 0; i < c.k && len(chosen) < c.k; i++ {
-		if shards[i] != nil {
+		if len(shards[i]) != 0 {
 			chosen = append(chosen, i)
+			key.set(i)
 		}
 	}
 	for i := c.k; i < n && len(chosen) < c.k; i++ {
-		if shards[i] != nil {
+		if len(shards[i]) != 0 {
 			chosen = append(chosen, i)
+			key.set(i)
 		}
 	}
 	if len(chosen) < c.k {
 		return fmt.Errorf("%w: %d of %d present", ErrTooFewShards, len(chosen), c.k)
 	}
 
-	// Decode matrix: rows of G for the chosen shards.
-	a := gf256.NewMatrix(c.k, c.k)
-	for r, idx := range chosen {
-		if idx < c.k {
-			a.Set(r, idx, 1)
-		} else {
-			copy(a.Row(r), c.parity.Row(idx-c.k))
+	inv, wide := c.cachedInverse(key)
+	if inv == nil {
+		// Decode matrix: rows of G for the chosen shards.
+		a := gf256.NewMatrix(c.k, c.k)
+		for r, idx := range chosen {
+			if idx < c.k {
+				a.Set(r, idx, 1)
+			} else {
+				copy(a.Row(r), c.parity.Row(idx-c.k))
+			}
 		}
-	}
-	inv, err := a.Invert()
-	if err != nil {
-		// Cannot happen for this generator matrix; any k rows are
-		// linearly independent by construction.
-		return fmt.Errorf("rse: internal decode failure: %w", err)
+		inv, err = a.Invert()
+		if err != nil {
+			// Cannot happen for this generator matrix; any k rows are
+			// linearly independent by construction.
+			return fmt.Errorf("rse: internal decode failure: %w", err)
+		}
+		wide = wideKernelOK(inv)
+		c.storeInverse(key, inv, wide)
 	}
 
-	// Each missing data shard i is row i of inv times the received vector.
+	// Each missing data shard i is row i of inv times the received
+	// vector; the first column overwrites via MulSlice so recycled
+	// output buffers need no zero-fill.
 	for _, i := range missing {
-		out := make([]byte, size)
+		out := sizeFor(shards[i], size)
 		row := inv.Row(i)
-		for r, idx := range chosen {
-			gf256.MulAddSlice(row[r], shards[idx], out)
+		if wide {
+			gf256.MulSlice(row[0], shards[chosen[0]], out)
+			for r := 1; r < len(chosen); r++ {
+				gf256.MulAddSlice(row[r], shards[chosen[r]], out)
+			}
+		} else {
+			gf256.MulSliceCompact(row[0], shards[chosen[0]], out)
+			for r := 1; r < len(chosen); r++ {
+				gf256.MulAddSliceCompact(row[r], shards[chosen[r]], out)
+			}
 		}
 		shards[i] = out
 	}
@@ -270,7 +493,7 @@ func (c *Code) ReconstructAll(shards [][]byte) error {
 	}
 	needParity := false
 	for j := 0; j < c.h; j++ {
-		if shards[c.k+j] == nil {
+		if len(shards[c.k+j]) == 0 {
 			needParity = true
 			break
 		}
@@ -280,10 +503,10 @@ func (c *Code) ReconstructAll(shards [][]byte) error {
 	}
 	data := shards[:c.k]
 	for j := 0; j < c.h; j++ {
-		if shards[c.k+j] != nil {
+		if len(shards[c.k+j]) != 0 {
 			continue
 		}
-		p, err := c.EncodeParity(j, data, nil)
+		p, err := c.EncodeParity(j, data, shards[c.k+j])
 		if err != nil {
 			return err
 		}
@@ -293,7 +516,9 @@ func (c *Code) ReconstructAll(shards [][]byte) error {
 }
 
 // Verify reports whether the parity shards are consistent with the data
-// shards. All n shards must be present.
+// shards. All n shards must be present. The shard validation runs once up
+// front; the per-parity loop just re-encodes into one reused buffer and
+// compares.
 func (c *Code) Verify(shards [][]byte) (bool, error) {
 	n := c.N()
 	if len(shards) != n {
@@ -304,21 +529,18 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 			return false, ErrTooFewShards
 		}
 	}
-	if _, err := checkSizes(shards); err != nil {
+	size, err := c.validateEncode(shards[:c.k])
+	if err != nil {
 		return false, err
 	}
-	var buf []byte
+	buf := make([]byte, size)
 	for j := 0; j < c.h; j++ {
-		p, err := c.EncodeParity(j, shards[:c.k], buf)
-		if err != nil {
-			return false, err
+		if len(shards[c.k+j]) != size {
+			return false, ErrShardSize
 		}
-		buf = p
-		want := shards[c.k+j]
-		for i := range p {
-			if p[i] != want[i] {
-				return false, nil
-			}
+		c.encodeRow(j, shards[:c.k], buf)
+		if !bytes.Equal(buf, shards[c.k+j]) {
+			return false, nil
 		}
 	}
 	return true, nil

@@ -173,42 +173,95 @@ func checkSizes(shards [][]byte) (int, error) {
 	return size, nil
 }
 
-// EncodeParity computes parity shard j from the k data shards.
+// validateData checks the data-shard slice once so encode loops can run
+// unchecked.
+func (c *Code) validateData(data [][]byte) (size int, err error) {
+	if len(data) != c.k {
+		return 0, fmt.Errorf("%w: %d data shards, want %d", ErrBadShardCount, len(data), c.k)
+	}
+	for _, d := range data {
+		if d == nil {
+			return 0, fmt.Errorf("%w: nil data shard", ErrBadShardCount)
+		}
+	}
+	return checkSizes(data)
+}
+
+// EncodeParity computes parity shard j from the k data shards. Shards
+// whose generator coefficient is zero are skipped before the byte-to-
+// symbol conversion, so sparse rows cost nothing.
 func (c *Code) EncodeParity(j int, data [][]byte) ([]byte, error) {
 	if j < 0 || j >= c.h {
 		return nil, fmt.Errorf("%w: %d", ErrBadIndex, j)
 	}
-	if len(data) != c.k {
-		return nil, fmt.Errorf("%w: %d data shards, want %d", ErrBadShardCount, len(data), c.k)
-	}
-	size, err := checkSizes(data)
+	size, err := c.validateData(data)
 	if err != nil {
 		return nil, err
 	}
 	acc := make([]uint16, size/2)
 	row := c.parity[j]
 	for i, d := range data {
-		if d == nil {
-			return nil, fmt.Errorf("%w: nil data shard", ErrBadShardCount)
+		if row[i] != 0 {
+			gf16.MulAddSlice(row[i], toSymbols(d), acc)
 		}
-		gf16.MulAddSlice(row[i], toSymbols(d), acc)
 	}
 	out := make([]byte, size)
 	fromSymbols(acc, out)
 	return out, nil
 }
 
-// Encode fills parity (length h) with all parity shards.
+// Encode fills parity (length h) with all parity shards, reusing the
+// capacity of any slices already present in parity. The data shards are
+// converted to symbols once for all h parities (EncodeParity would
+// convert them h times).
 func (c *Code) Encode(data [][]byte, parity [][]byte) error {
 	if len(parity) != c.h {
 		return fmt.Errorf("%w: %d parity slots, want %d", ErrBadShardCount, len(parity), c.h)
 	}
+	if c.h == 0 {
+		return nil
+	}
+	size, err := c.validateData(data)
+	if err != nil {
+		return err
+	}
+	syms := make([][]uint16, c.k)
+	for i, d := range data {
+		syms[i] = toSymbols(d)
+	}
+	acc := make([]uint16, size/2)
 	for j := 0; j < c.h; j++ {
-		p, err := c.EncodeParity(j, data)
-		if err != nil {
-			return err
+		row := c.parity[j]
+		gf16.MulSlice(row[0], syms[0], acc)
+		for i := 1; i < c.k; i++ {
+			gf16.MulAddSlice(row[i], syms[i], acc)
 		}
-		parity[j] = p
+		if cap(parity[j]) < size {
+			parity[j] = make([]byte, size)
+		} else {
+			parity[j] = parity[j][:size]
+		}
+		fromSymbols(acc, parity[j])
+	}
+	return nil
+}
+
+// EncodeBlocks encodes nb consecutive FEC blocks in one call: data holds
+// nb*k data shards (block b at [b*k, (b+1)*k)) and parity nb*h parity
+// slices, resized and overwritten like Encode. Mirrors rse.EncodeBlocks
+// so batch senders can drive either backend.
+func (c *Code) EncodeBlocks(data, parity [][]byte) error {
+	if len(data)%c.k != 0 {
+		return fmt.Errorf("%w: %d data shards, want a multiple of %d", ErrBadShardCount, len(data), c.k)
+	}
+	nb := len(data) / c.k
+	if len(parity) != nb*c.h {
+		return fmt.Errorf("%w: %d parity shards, want %d", ErrBadShardCount, len(parity), nb*c.h)
+	}
+	for b := 0; b < nb; b++ {
+		if err := c.Encode(data[b*c.k:(b+1)*c.k], parity[b*c.h:(b+1)*c.h]); err != nil {
+			return fmt.Errorf("block %d: %w", b, err)
+		}
 	}
 	return nil
 }

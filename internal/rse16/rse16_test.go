@@ -244,3 +244,75 @@ func TestHugeGroupRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestEncodeReusesParityBuffers(t *testing.T) {
+	c, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	data := make([][]byte, 5)
+	for i := range data {
+		data[i] = make([]byte, 64)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, 3)
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, 3)
+	for j := range want {
+		p, err := c.EncodeParity(j, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[j] = p
+	}
+	for j := range parity {
+		if !bytes.Equal(parity[j], want[j]) {
+			t.Fatalf("Encode parity %d diverges from EncodeParity", j)
+		}
+	}
+	before := &parity[0][0]
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	if &parity[0][0] != before {
+		t.Fatal("Encode reallocated a parity buffer it could reuse")
+	}
+}
+
+func TestEncodeBlocks16MatchesEncode(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nb = 3
+	rng := rand.New(rand.NewSource(17))
+	data := make([][]byte, nb*4)
+	for i := range data {
+		data[i] = make([]byte, 32)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, nb*2)
+	if err := c.EncodeBlocks(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < nb; b++ {
+		want := make([][]byte, 2)
+		if err := c.Encode(data[b*4:(b+1)*4], want); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			if !bytes.Equal(parity[b*2+j], want[j]) {
+				t.Fatalf("block %d parity %d diverges", b, j)
+			}
+		}
+	}
+	if err := c.EncodeBlocks(data[:5], parity); err == nil {
+		t.Error("non-multiple data count accepted")
+	}
+	if err := c.EncodeBlocks(data, parity[:3]); err == nil {
+		t.Error("wrong parity count accepted")
+	}
+}

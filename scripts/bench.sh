@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# bench.sh — record the repository's performance trajectory (`make bench`).
+#
+# Runs cmd/bench, which measures the GF(2^8) kernel throughput against the
+# retained scalar reference and the RSE encode/decode packet rates at the
+# paper's k=7,h=7 and k=20,h=5 operating points, and writes the snapshot
+# to BENCH_PR2.json (median of several passes; see cmd/bench). Compare
+# snapshots across PRs to catch codec regressions.
+set -eu
+cd "$(dirname "$0")/.."
+
+go run ./cmd/bench "$@"

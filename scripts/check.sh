@@ -8,7 +8,9 @@
 #   4. rmlint           project invariants (env-discipline, no-goroutines,
 #                       float-eq, mutex-discipline) — see internal/lint
 #   5. go test          full test suite
-#   6. go test -race    short-mode tests of the concurrent packages under
+#   6. bench smoke      kernel benchmarks at one iteration, so the
+#                       BenchmarkKernels suites compile and run
+#   7. go test -race    short-mode tests of the concurrent packages under
 #                       the race detector (udpcast transport, simnet
 #                       scheduler, core engines driven by both)
 set -eu
