@@ -17,12 +17,12 @@ lint:
 
 # Race-detector pass over the packages that own or drive concurrency.
 race:
-	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/
+	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/
 
 check:
 	sh scripts/check.sh
 
-# Perf trajectory snapshot (kernel + codec rates -> BENCH_PR2.json).
+# Perf trajectory snapshot (kernel + codec + sim rates -> BENCH_PR3.json).
 bench:
 	sh scripts/bench.sh
 

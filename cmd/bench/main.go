@@ -1,15 +1,18 @@
-// Command bench runs the PR 2 performance gate and emits a machine-
-// readable snapshot (BENCH_PR2.json) for the repository's perf
-// trajectory: GF(2^8) kernel throughput against the retained scalar
-// reference, and encode/decode packet rates of the RSE coder at the
-// paper's k=7,h=7 and k=20,h=5 operating points.
+// Command bench runs the repository's performance gate and emits a
+// machine-readable snapshot (BENCH_PR3.json) for the perf trajectory:
+// GF(2^8) kernel throughput against the retained scalar reference,
+// encode/decode packet rates of the RSE coder at the paper's k=7,h=7 and
+// k=20,h=5 operating points, and — new in PR 3 — Monte-Carlo engine
+// sample rates (sparse pending-set engines + sparse Bernoulli draws vs
+// the retained pre-PR dense engines) at R = 10^4 and 10^6, p = 0.01,
+// plus the end-to-end `figures -fig all -quick` wall-clock.
 //
-//	go run ./cmd/bench                  # writes BENCH_PR2.json
+//	go run ./cmd/bench                  # writes BENCH_PR3.json
 //	go run ./cmd/bench -out - -runs 3   # quick run to stdout
 //
 // Each metric is the median of -runs testing.Benchmark passes, because
 // shared hosts are noisy and a single pass can swing 2x in either
-// direction; the kernel speedup field pairs medians from the same
+// direction; every speedup field pairs measurements from the same
 // process invocation.
 package main
 
@@ -24,8 +27,11 @@ import (
 	"testing"
 	"time"
 
+	"rmfec/internal/figures"
 	"rmfec/internal/gf256"
+	"rmfec/internal/loss"
 	"rmfec/internal/rse"
+	"rmfec/internal/sim"
 )
 
 const shardBytes = 1024
@@ -47,16 +53,28 @@ type codecStats struct {
 	DecodeAllocsOp int64   `json:"decode_allocs_per_op"`
 }
 
+type simStats struct {
+	Engine         string  `json:"engine"`
+	R              int     `json:"r"`
+	P              float64 `json:"p"`
+	SparseSamplesS float64 `json:"sparse_samples_s"`
+	DenseSamplesS  float64 `json:"dense_samples_s"`
+	Speedup        float64 `json:"speedup"`
+}
+
 type snapshot struct {
-	PR         int          `json:"pr"`
-	Timestamp  string       `json:"timestamp"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	ShardBytes int          `json:"shard_bytes"`
-	Runs       int          `json:"runs"`
-	Kernels    kernelStats  `json:"kernels"`
-	Codec      []codecStats `json:"codec"`
+	PR                  int          `json:"pr"`
+	Timestamp           string       `json:"timestamp"`
+	GoVersion           string       `json:"go_version"`
+	GOOS                string       `json:"goos"`
+	GOARCH              string       `json:"goarch"`
+	ShardBytes          int          `json:"shard_bytes"`
+	Runs                int          `json:"runs"`
+	Kernels             kernelStats  `json:"kernels"`
+	Codec               []codecStats `json:"codec"`
+	Sim                 []simStats   `json:"sim"`
+	FiguresQuickSeconds float64      `json:"figures_quick_seconds"`
+	FiguresQuickSamples int          `json:"figures_quick_samples"`
 }
 
 // medianRate runs fn under testing.Benchmark `runs` times and returns the
@@ -194,15 +212,104 @@ func codecBench(runs, k, h int) codecStats {
 	return st
 }
 
+// samplesPerSec measures samplesPerOp Monte-Carlo samples per op and
+// returns the median samples/s over `passes` testing.Benchmark runs.
+func samplesPerSec(passes, samplesPerOp int, sample func()) float64 {
+	var rates []float64
+	for i := 0; i < passes; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				sample()
+			}
+		})
+		if r.N > 0 && r.T > 0 {
+			rates = append(rates, float64(r.N*samplesPerOp)/r.T.Seconds())
+		}
+	}
+	return median(rates)
+}
+
+// simGroups is how many Monte-Carlo samples each simBench op runs. The
+// engines amortise their O(R) scratch allocation across the groups of one
+// call, exactly as the figure runs do (samplesFor keeps >= 200 groups per
+// point), so a single-group op would overstate the per-sample cost.
+const simGroups = 8
+
+// simBench measures the sparse engines (with the sparse Bernoulli draw
+// kernel) against the retained pre-PR dense engines (with the dense
+// per-receiver Bernoulli population) — the honest before/after pair. The
+// speedup is the median of per-pass ratios, like kernelBench.
+func simBench(runs int) []simStats {
+	const p = 0.01
+	type engine struct {
+		name   string
+		sparse func(pop loss.Population)
+		dense  func(pop loss.Population)
+	}
+	engines := []engine{
+		{
+			name:   "NoFEC",
+			sparse: func(pop loss.Population) { sim.NoFEC(pop, sim.PaperTiming, simGroups) },
+			dense:  func(pop loss.Population) { sim.DenseNoFEC(pop, sim.PaperTiming, simGroups) },
+		},
+		{
+			name:   "Layered(7,1)",
+			sparse: func(pop loss.Population) { sim.Layered(pop, 7, 1, sim.PaperTiming, simGroups) },
+			dense:  func(pop loss.Population) { sim.DenseLayered(pop, 7, 1, sim.PaperTiming, simGroups) },
+		},
+	}
+	var out []simStats
+	for _, r := range []int{10_000, 1_000_000} {
+		sparsePop := loss.NewBernoulliPopulation(r, p, rand.New(rand.NewSource(3)))
+		densePop := loss.NewIndependentBernoulli(r, p, rand.New(rand.NewSource(4)))
+		for _, eng := range engines {
+			fmt.Fprintf(os.Stderr, "bench: measuring sim %s R=%d...\n", eng.name, r)
+			st := simStats{Engine: eng.name, R: r, P: p}
+			var sparseRates, denseRates, ratios []float64
+			for i := 0; i < runs; i++ {
+				s := samplesPerSec(1, simGroups, func() { eng.sparse(sparsePop) })
+				d := samplesPerSec(1, simGroups, func() { eng.dense(densePop) })
+				sparseRates = append(sparseRates, s)
+				denseRates = append(denseRates, d)
+				if d > 0 {
+					ratios = append(ratios, s/d)
+				}
+			}
+			st.SparseSamplesS = median(sparseRates)
+			st.DenseSamplesS = median(denseRates)
+			st.Speedup = median(ratios)
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// figuresQuickBench times one end-to-end quick regeneration of every
+// figure (the smoke run of scripts/check.sh) and reports wall-clock plus
+// the Monte-Carlo sample total behind it.
+func figuresQuickBench() (seconds float64, samples int) {
+	opt := figures.Options{Seed: 1997, Quick: true}
+	start := time.Now()
+	for _, id := range figures.IDs() {
+		fig, err := figures.Generate(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		samples += fig.SimSamples
+	}
+	return time.Since(start).Seconds(), samples
+}
+
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_PR2.json", "output path, or - for stdout")
+		out  = flag.String("out", "BENCH_PR3.json", "output path, or - for stdout")
 		runs = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
 	)
 	flag.Parse()
 
 	snap := snapshot{
-		PR:         2,
+		PR:         3,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -216,6 +323,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: measuring rse codec k=%d h=%d...\n", p.k, p.h)
 		snap.Codec = append(snap.Codec, codecBench(*runs, p.k, p.h))
 	}
+	snap.Sim = simBench(*runs)
+	fmt.Fprintln(os.Stderr, "bench: timing figures -fig all -quick...")
+	snap.FiguresQuickSeconds, snap.FiguresQuickSamples = figuresQuickBench()
 
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -231,6 +341,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.0f MB/s = %.2fx scalar, xor %.2fx)\n",
-		*out, snap.Kernels.MulAddMBs, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup)
+	simSummary := ""
+	for _, s := range snap.Sim {
+		if s.R == 1_000_000 {
+			simSummary += fmt.Sprintf(", %s@1e6 %.0fx", s.Engine, s.Speedup)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.2fx scalar, xor %.2fx%s, figures-quick %.1fs)\n",
+		*out, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup, simSummary, snap.FiguresQuickSeconds)
 }

@@ -4,10 +4,17 @@
 //	figures -fig 5                        # figure 5 to stdout
 //	figures -fig 11 -samples 4000         # more Monte-Carlo precision
 //	figures -quick                        # fast smoke run of everything
+//	figures -fig all -parallel 8          # 8 Monte-Carlo workers; output
+//	                                      # is byte-identical at any -parallel
 //
 // Figure numbers follow the paper: 1 (coder throughput), 3-12 and 14-16
 // (expected transmissions under the various loss models), 17-18 (end-host
 // processing rates and throughput). Figures 2 and 13 are diagrams.
+//
+// Monte-Carlo points run on the deterministic parallel runner
+// (internal/mcrun): every point's RNG seed derives from -seed and the
+// point's label, so worker count and scheduling never change the output.
+// -cpuprofile/-memprofile capture pprof data for the simulation hot path.
 package main
 
 import (
@@ -15,7 +22,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"rmfec/internal/figures"
 	"rmfec/internal/hostperf"
@@ -23,17 +33,31 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", `figure to generate: "all", "5", or "fig5"`)
-		out     = flag.String("out", "", "output directory (default: stdout)")
-		samples = flag.Int("samples", 0, "base Monte-Carlo samples per point (default 1500)")
-		seed    = flag.Int64("seed", 1997, "random seed")
-		quick   = flag.Bool("quick", false, "fast low-precision run")
-		meas    = flag.Bool("measured", false, "use THIS machine's measured timing constants for figs 17/18 instead of the paper's DECstation constants")
-		ascii   = flag.Bool("ascii", false, "render an ASCII plot instead of TSV (stdout only)")
+		fig        = flag.String("fig", "all", `figure to generate: "all", "5", or "fig5"`)
+		out        = flag.String("out", "", "output directory (default: stdout)")
+		samples    = flag.Int("samples", 0, "base Monte-Carlo samples per point (default 1500)")
+		seed       = flag.Int64("seed", 1997, "random seed")
+		quick      = flag.Bool("quick", false, "fast low-precision run")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "Monte-Carlo worker count (results identical for any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		meas       = flag.Bool("measured", false, "use THIS machine's measured timing constants for figs 17/18 instead of the paper's DECstation constants")
+		ascii      = flag.Bool("ascii", false, "render an ASCII plot instead of TSV (stdout only)")
 	)
 	flag.Parse()
 
-	opt := figures.Options{Seed: *seed, Samples: *samples, Quick: *quick}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opt := figures.Options{Seed: *seed, Samples: *samples, Quick: *quick, Parallel: *parallel}
 	if *meas {
 		tm, err := hostperf.Timing()
 		if err != nil {
@@ -57,11 +81,13 @@ func main() {
 	}
 
 	for _, id := range ids {
+		start := time.Now()
 		f, err := figures.Generate(id, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		if *out == "" {
 			var err error
 			if *ascii {
@@ -95,6 +121,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: %s (%d series)\n", path, f.Title, len(f.Series))
+		perf := fmt.Sprintf("%.2fs", elapsed.Seconds())
+		if f.SimSamples > 0 && elapsed > 0 {
+			perf += fmt.Sprintf(", %d samples, %.0f samples/s",
+				f.SimSamples, float64(f.SimSamples)/elapsed.Seconds())
+		}
+		fmt.Printf("%s: %s (%d series, %s)\n", path, f.Title, len(f.Series), perf)
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
 }

@@ -31,6 +31,10 @@ type Figure struct {
 	XLog   bool // paper plots R and p on log axes
 	YLog   bool
 	Series []Series
+	// SimSamples counts the Monte-Carlo samples (transmission groups,
+	// packets or census packets) behind the figure; 0 for analytic
+	// figures. cmd/figures reports it as samples/s next to wall-clock.
+	SimSamples int
 }
 
 // Options tunes the generators.
@@ -43,6 +47,12 @@ type Options struct {
 	// Quick truncates receiver grids and sample counts so the full set of
 	// figures regenerates in seconds (used by tests and smoke runs).
 	Quick bool
+	// Parallel is the worker count for the Monte-Carlo point runner
+	// (internal/mcrun). Every value, including the default GOMAXPROCS
+	// (0), produces byte-identical output: each point runs from its own
+	// seed derived from Seed and the point's label, and results merge in
+	// fixed point order.
+	Parallel int
 	// Timing overrides the end-host timing constants of Figs 17/18. nil
 	// uses model.PaperTiming (the DECstation constants); pass the result
 	// of hostperf.Timing for this machine's numbers.
@@ -66,12 +76,16 @@ func (o *Options) defaults() {
 	}
 }
 
-// samplesFor scales the base sample count down for large populations, with
-// a floor that keeps the estimate usable for curve shapes.
+// samplesFor scales the base sample count down for large populations. The
+// sparse engines' per-sample cost grows with the loss count p*R rather
+// than R, so the decay is far gentler than the pre-PR r/64 schedule and
+// the floor is raised from 24 to 200 samples — the large-R points of the
+// simulated curves now carry usable standard errors instead of the wide
+// error bars of the throttled runs.
 func (o Options) samplesFor(r int) int {
-	s := o.Samples / max(1, r/64)
-	if s < 24 {
-		s = 24
+	s := o.Samples / max(1, r/1024)
+	if s < 200 {
+		s = 200
 	}
 	return s
 }

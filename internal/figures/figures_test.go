@@ -218,8 +218,37 @@ func TestSamplesForScaling(t *testing.T) {
 	if got := o.samplesFor(1); got != 1500 {
 		t.Errorf("samplesFor(1) = %d", got)
 	}
-	if got := o.samplesFor(1 << 17); got != 24 {
-		t.Errorf("samplesFor(131072) = %d, want floor 24", got)
+	if got := o.samplesFor(2048); got != 750 {
+		t.Errorf("samplesFor(2048) = %d, want 750", got)
+	}
+	// The PR-3 floor: sparse engines keep even R = 10^6 points affordable
+	// at 200 samples (the pre-PR floor of 24 gave unusable error bars).
+	for _, r := range []int{1 << 17, 1_000_000} {
+		if got := o.samplesFor(r); got != 200 {
+			t.Errorf("samplesFor(%d) = %d, want floor 200", r, got)
+		}
+	}
+}
+
+// TestParallelDeterminism is the contract of internal/mcrun as seen from
+// the figures: any worker count produces byte-identical TSV.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"fig11", "fig15"} {
+		render := func(parallel int) string {
+			fig, err := Generate(id, Options{Seed: 7, Quick: true, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := fig.WriteTSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		}
+		serial := render(1)
+		if parallel := render(8); parallel != serial {
+			t.Errorf("%s: -parallel 8 TSV differs from -parallel 1", id)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"rmfec/internal/loss"
+	"rmfec/internal/mcrun"
 	"rmfec/internal/model"
 	"rmfec/internal/sim"
 )
@@ -15,6 +16,20 @@ func init() {
 	register("fig14", fig14)
 	register("fig15", fig15)
 	register("fig16", fig16)
+}
+
+// pointRNG seeds an engine RNG for one Monte-Carlo point. Every simulated
+// point gets its own stream derived from the root seed and the point's
+// label, which is what lets mcrun.Run execute points in any worker
+// arrangement without changing the figures.
+func pointRNG(opt Options, label string) *rand.Rand {
+	return rand.New(rand.NewSource(mcrun.DeriveSeed(opt.Seed, label)))
+}
+
+// runPoints executes the labelled estimate jobs via the deterministic
+// parallel runner and returns the estimates in job order.
+func runPoints(opt Options, jobs []func() sim.Estimate) []sim.Estimate {
+	return mcrun.Run(opt.Parallel, jobs)
 }
 
 // fbtDepths returns the tree heights simulated in Figs 11/12; the paper
@@ -44,19 +59,32 @@ func fig11(opt Options) (*Figure, error) {
 		XLog:   true,
 	}
 	depths := fbtDepths(opt)
-	var xs, noFECindep, layeredIndep, noFECfbt, layeredFbt []float64
-	rng := rand.New(rand.NewSource(opt.Seed))
+	var xs, noFECindep, layeredIndep []float64
+	jobs := make([]func() sim.Estimate, 0, 2*len(depths))
 	for _, d := range depths {
+		d := d
 		r := 1 << d
 		xs = append(xs, float64(r))
 		noFECindep = append(noFECindep, model.ExpectedTxNoFEC(r, lossP))
 		layeredIndep = append(layeredIndep, model.ExpectedTxLayered(7, 1, r, lossP))
 
 		n := opt.samplesFor(r)
-		tree := loss.NewFBT(d, lossP, rng)
-		noFECfbt = append(noFECfbt, sim.NoFEC(tree, sim.PaperTiming, n).Mean)
-		tree2 := loss.NewFBT(d, lossP, rng)
-		layeredFbt = append(layeredFbt, sim.Layered(tree2, 7, 1, sim.PaperTiming, n).Mean)
+		jobs = append(jobs, func() sim.Estimate {
+			rng := pointRNG(opt, fmt.Sprintf("fig11/noFEC-fbt/d=%d", d))
+			return sim.NoFEC(loss.NewFBT(d, lossP, rng), sim.PaperTiming, n)
+		}, func() sim.Estimate {
+			rng := pointRNG(opt, fmt.Sprintf("fig11/layered-fbt/d=%d", d))
+			return sim.Layered(loss.NewFBT(d, lossP, rng), 7, 1, sim.PaperTiming, n)
+		})
+	}
+	ests := runPoints(opt, jobs)
+	var noFECfbt, layeredFbt []float64
+	for i := range depths {
+		noFECfbt = append(noFECfbt, ests[2*i].Mean)
+		layeredFbt = append(layeredFbt, ests[2*i+1].Mean)
+	}
+	for _, e := range ests {
+		fig.SimSamples += e.Samples
 	}
 	fig.Series = []Series{
 		{Name: "non-FEC indep. loss", X: xs, Y: noFECindep},
@@ -77,19 +105,32 @@ func fig12(opt Options) (*Figure, error) {
 		XLog:   true,
 	}
 	depths := fbtDepths(opt)
-	var xs, noFECindep, intIndep, noFECfbt, intFbt []float64
-	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	var xs, noFECindep, intIndep []float64
+	jobs := make([]func() sim.Estimate, 0, 2*len(depths))
 	for _, d := range depths {
+		d := d
 		r := 1 << d
 		xs = append(xs, float64(r))
 		noFECindep = append(noFECindep, model.ExpectedTxNoFEC(r, lossP))
 		intIndep = append(intIndep, model.ExpectedTxIntegrated(7, 0, r, lossP))
 
 		n := opt.samplesFor(r)
-		tree := loss.NewFBT(d, lossP, rng)
-		noFECfbt = append(noFECfbt, sim.NoFEC(tree, sim.PaperTiming, n).Mean)
-		tree2 := loss.NewFBT(d, lossP, rng)
-		intFbt = append(intFbt, sim.Integrated2(tree2, 7, sim.PaperTiming, n).Mean)
+		jobs = append(jobs, func() sim.Estimate {
+			rng := pointRNG(opt, fmt.Sprintf("fig12/noFEC-fbt/d=%d", d))
+			return sim.NoFEC(loss.NewFBT(d, lossP, rng), sim.PaperTiming, n)
+		}, func() sim.Estimate {
+			rng := pointRNG(opt, fmt.Sprintf("fig12/integrated-fbt/d=%d", d))
+			return sim.Integrated2(loss.NewFBT(d, lossP, rng), 7, sim.PaperTiming, n)
+		})
+	}
+	ests := runPoints(opt, jobs)
+	var noFECfbt, intFbt []float64
+	for i := range depths {
+		noFECfbt = append(noFECfbt, ests[2*i].Mean)
+		intFbt = append(intFbt, ests[2*i+1].Mean)
+	}
+	for _, e := range ests {
+		fig.SimSamples += e.Samples
 	}
 	fig.Series = []Series{
 		{Name: "non-FEC indep. loss", X: xs, Y: noFECindep},
@@ -107,16 +148,25 @@ func fig14(opt Options) (*Figure, error) {
 	if opt.Quick {
 		packets = 100_000
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 2))
-	bern := sim.BurstCensus(loss.NewBernoulli(lossP, rng), 0.040, packets)
-	markov := sim.BurstCensus(loss.NewMarkov(lossP, 2, 25, rng), 0.040, packets)
+	census := mcrun.Run(opt.Parallel, []func() sim.BurstHistogram{
+		func() sim.BurstHistogram {
+			rng := pointRNG(opt, "fig14/bernoulli")
+			return sim.BurstCensus(loss.NewBernoulli(lossP, rng), 0.040, packets)
+		},
+		func() sim.BurstHistogram {
+			rng := pointRNG(opt, "fig14/markov-b=2")
+			return sim.BurstCensus(loss.NewMarkov(lossP, 2, 25, rng), 0.040, packets)
+		},
+	})
+	bern, markov := census[0], census[1]
 
 	fig := &Figure{
-		ID:     "fig14",
-		Title:  "Burst length distribution, p = 0.01",
-		XLabel: "burst length [packets]",
-		YLabel: "occurrences",
-		YLog:   true,
+		ID:         "fig14",
+		Title:      "Burst length distribution, p = 0.01",
+		XLabel:     "burst length [packets]",
+		YLabel:     "occurrences",
+		YLog:       true,
+		SimSamples: 2 * packets,
 	}
 	toSeries := func(name string, h sim.BurstHistogram) Series {
 		s := Series{Name: name}
@@ -142,6 +192,14 @@ func burstGrid(opt Options) []int {
 	return grid
 }
 
+// burstPop builds the homogeneous Markov population of Figs 15/16 for one
+// labelled point, using the sparse state-bucket kernel: because a chain's
+// state is exactly "lost on the previous draw", a draw costs O(p*R), not
+// O(R), despite the per-receiver temporal state.
+func burstPop(opt Options, label string, r int) loss.Population {
+	return loss.NewMarkovPopulation(r, lossP, 2, 25, pointRNG(opt, label))
+}
+
 // fig15: burst loss with layered FEC (7+1, 7+3) vs no FEC.
 func fig15(opt Options) (*Figure, error) {
 	fig := &Figure{
@@ -152,17 +210,29 @@ func fig15(opt Options) (*Figure, error) {
 		XLog:   true,
 	}
 	grid := burstGrid(opt)
-	rng := rand.New(rand.NewSource(opt.Seed + 3))
-	mkPop := func(r int) loss.Population {
-		return loss.NewIndependentMarkov(r, lossP, 2, 25, rand.New(rand.NewSource(rng.Int63())))
-	}
-	var xs, noFEC, l1, l3 []float64
+	var xs []float64
+	jobs := make([]func() sim.Estimate, 0, 3*len(grid))
 	for _, r := range grid {
+		r := r
 		n := opt.samplesFor(r) * 4 // cheap per-sample; buy extra precision
 		xs = append(xs, float64(r))
-		noFEC = append(noFEC, sim.NoFEC(mkPop(r), sim.PaperTiming, n).Mean)
-		l1 = append(l1, sim.Layered(mkPop(r), 7, 1, sim.PaperTiming, n).Mean)
-		l3 = append(l3, sim.Layered(mkPop(r), 7, 3, sim.PaperTiming, n).Mean)
+		jobs = append(jobs, func() sim.Estimate {
+			return sim.NoFEC(burstPop(opt, fmt.Sprintf("fig15/noFEC/r=%d", r), r), sim.PaperTiming, n)
+		}, func() sim.Estimate {
+			return sim.Layered(burstPop(opt, fmt.Sprintf("fig15/layered-7+1/r=%d", r), r), 7, 1, sim.PaperTiming, n)
+		}, func() sim.Estimate {
+			return sim.Layered(burstPop(opt, fmt.Sprintf("fig15/layered-7+3/r=%d", r), r), 7, 3, sim.PaperTiming, n)
+		})
+	}
+	ests := runPoints(opt, jobs)
+	var noFEC, l1, l3 []float64
+	for i := range grid {
+		noFEC = append(noFEC, ests[3*i].Mean)
+		l1 = append(l1, ests[3*i+1].Mean)
+		l3 = append(l3, ests[3*i+2].Mean)
+	}
+	for _, e := range ests {
+		fig.SimSamples += e.Samples
 	}
 	fig.Series = []Series{
 		{Name: "no FEC", X: xs, Y: noFEC},
@@ -182,26 +252,42 @@ func fig16(opt Options) (*Figure, error) {
 		XLog:   true,
 	}
 	grid := burstGrid(opt)
-	rng := rand.New(rand.NewSource(opt.Seed + 4))
-	mkPop := func(r int) loss.Population {
-		return loss.NewIndependentMarkov(r, lossP, 2, 25, rand.New(rand.NewSource(rng.Int63())))
-	}
-	var xs, noFEC []float64
-	curves := map[string][]float64{}
+	ks := []int{7, 20, 100}
+	var xs []float64
+	jobs := make([]func() sim.Estimate, 0, (1+2*len(ks))*len(grid))
 	for _, r := range grid {
+		r := r
 		n := opt.samplesFor(r) * 2
 		xs = append(xs, float64(r))
-		noFEC = append(noFEC, sim.NoFEC(mkPop(r), sim.PaperTiming, n).Mean)
-		for _, k := range []int{7, 20, 100} {
+		jobs = append(jobs, func() sim.Estimate {
+			return sim.NoFEC(burstPop(opt, fmt.Sprintf("fig16/noFEC/r=%d", r), r), sim.PaperTiming, n)
+		})
+		for _, k := range ks {
+			k := k
 			nk := max(12, n/max(1, k/7)) // larger TGs cost more per group
-			i1 := sim.Integrated1(mkPop(r), k, sim.PaperTiming, nk).Mean
-			i2 := sim.Integrated2(mkPop(r), k, sim.PaperTiming, nk).Mean
-			curves[fmt.Sprintf("integrated FEC 1 k=%d", k)] = append(curves[fmt.Sprintf("integrated FEC 1 k=%d", k)], i1)
-			curves[fmt.Sprintf("integrated FEC 2 k=%d", k)] = append(curves[fmt.Sprintf("integrated FEC 2 k=%d", k)], i2)
+			jobs = append(jobs, func() sim.Estimate {
+				return sim.Integrated1(burstPop(opt, fmt.Sprintf("fig16/integrated1-k=%d/r=%d", k, r), r), k, sim.PaperTiming, nk)
+			}, func() sim.Estimate {
+				return sim.Integrated2(burstPop(opt, fmt.Sprintf("fig16/integrated2-k=%d/r=%d", k, r), r), k, sim.PaperTiming, nk)
+			})
 		}
 	}
+	ests := runPoints(opt, jobs)
+	stride := 1 + 2*len(ks)
+	var noFEC []float64
+	curves := map[string][]float64{}
+	for i := range grid {
+		noFEC = append(noFEC, ests[i*stride].Mean)
+		for ki, k := range ks {
+			curves[fmt.Sprintf("integrated FEC 1 k=%d", k)] = append(curves[fmt.Sprintf("integrated FEC 1 k=%d", k)], ests[i*stride+1+2*ki].Mean)
+			curves[fmt.Sprintf("integrated FEC 2 k=%d", k)] = append(curves[fmt.Sprintf("integrated FEC 2 k=%d", k)], ests[i*stride+2+2*ki].Mean)
+		}
+	}
+	for _, e := range ests {
+		fig.SimSamples += e.Samples
+	}
 	fig.Series = append(fig.Series, Series{Name: "no FEC", X: xs, Y: noFEC})
-	for _, k := range []int{7, 20, 100} {
+	for _, k := range ks {
 		for _, v := range []int{1, 2} {
 			name := fmt.Sprintf("integrated FEC %d k=%d", v, k)
 			fig.Series = append(fig.Series, Series{Name: name, X: xs, Y: curves[name]})

@@ -74,11 +74,18 @@ func DefaultConfig() Config {
 			"internal/figures",
 			"internal/udpcast", // real-clock Env: every wall-clock read is annotated
 		},
+		// internal/mcrun is the deliberate exemption from this list: it is
+		// the deterministic parallel Monte-Carlo runner that owns ALL
+		// worker goroutines on behalf of the engines below it. Adding a
+		// new engine package here and routing its concurrency through
+		// mcrun (or a transport) is the intended pattern.
 		GoroutineFreePackages: []string{
 			"internal/core",
 			"internal/layered",
 			"internal/simnet",
 			"internal/figures",
+			"internal/sim",
+			"internal/loss",
 		},
 		FloatEqPackages: []string{
 			"internal/model",

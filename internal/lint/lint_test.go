@@ -329,10 +329,38 @@ func TestDefaultConfigCoversEnginePackages(t *testing.T) {
 			t.Errorf("%s missing from GoroutineFreePackages", rel)
 		}
 	}
+	// The Monte-Carlo engines joined the goroutine-free set in PR 3.
+	for _, rel := range []string{"internal/sim", "internal/loss"} {
+		if !pathIn(rel, cfg.GoroutineFreePackages) {
+			t.Errorf("%s missing from GoroutineFreePackages", rel)
+		}
+	}
 	if !pathIn("internal/udpcast", cfg.EnvPackages) {
 		t.Error("internal/udpcast missing from EnvPackages (its wall-clock use must stay annotated)")
 	}
 	if pathIn("internal/udpcast", cfg.GoroutineFreePackages) {
 		t.Error("internal/udpcast is a transport; it owns goroutines by design")
 	}
+	if pathIn("internal/mcrun", cfg.GoroutineFreePackages) {
+		t.Error("internal/mcrun is the parallel point runner; it owns the worker goroutines by design")
+	}
+}
+
+// TestGoroutineExemptRunnerPackage is the PR-3 fixture: an identical go
+// statement is flagged inside an engine package but not inside the
+// exempted runner package that parallelises above the engines.
+func TestGoroutineExemptRunnerPackage(t *testing.T) {
+	src := `package %s
+
+func Fan(fns []func()) {
+	for _, fn := range fns {
+		go fn()
+	}
+}
+`
+	got := runFixture(t, Config{GoroutineFreePackages: []string{"engine"}}, map[string]string{
+		"engine/engine.go": fmt.Sprintf(src, "engine"),
+		"runner/runner.go": fmt.Sprintf(src, "runner"),
+	})
+	wantDiags(t, got, "engine/engine.go:5: no-goroutines")
 }

@@ -26,7 +26,13 @@ type FBT struct {
 	rng   *rand.Rand
 	// logq caches ln(1-PNode) for the geometric skip sampler.
 	logq float64
+	// DrawLost scratch, reused across draws.
+	iv  []leafInterval
+	idx []int
 }
+
+// leafInterval is a half-open run [lo, hi) of lost leaf indices.
+type leafInterval struct{ lo, hi int }
 
 // NewFBT returns a shared-loss tree of height depth whose leaves each see
 // packet loss probability p.
@@ -72,8 +78,53 @@ func (t *FBT) Draw(_ float64, lost []bool) {
 		return
 	}
 	for idx := t.nextFailure(-1); idx < t.nodes; idx = t.nextFailure(idx) {
-		t.markSubtreeLeaves(idx, lost)
+		lo, hi := t.leafSpan(idx)
+		for i := lo; i < hi; i++ {
+			lost[i] = true
+		}
 	}
+}
+
+// DrawLost implements SparsePopulation. It consumes the RNG exactly like
+// Draw (the same geometric enumeration of failed nodes), so a dense and a
+// sparse draw from equal seeds lose the same receivers; only the output
+// representation differs. Overlapping subtree intervals are merged before
+// the leaf indices are emitted in ascending order.
+func (t *FBT) DrawLost(_ float64) []int {
+	t.idx = t.idx[:0]
+	if t.PNode == 0 {
+		return t.idx
+	}
+	t.iv = t.iv[:0]
+	for idx := t.nextFailure(-1); idx < t.nodes; idx = t.nextFailure(idx) {
+		lo, hi := t.leafSpan(idx)
+		t.iv = append(t.iv, leafInterval{lo, hi})
+	}
+	// Failed nodes arrive in heap order, not leaf order: insertion-sort the
+	// (few) intervals by lo, then emit with overlap merging.
+	for i := 1; i < len(t.iv); i++ {
+		v := t.iv[i]
+		j := i - 1
+		for j >= 0 && t.iv[j].lo > v.lo {
+			t.iv[j+1] = t.iv[j]
+			j--
+		}
+		t.iv[j+1] = v
+	}
+	next := 0 // first leaf not yet emitted
+	for _, v := range t.iv {
+		lo := v.lo
+		if lo < next {
+			lo = next
+		}
+		for i := lo; i < v.hi; i++ {
+			t.idx = append(t.idx, i)
+		}
+		if v.hi > next {
+			next = v.hi
+		}
+	}
+	return t.idx
 }
 
 // nextFailure returns the smallest failed node index > prev, or t.nodes if
@@ -92,17 +143,15 @@ func (t *FBT) nextFailure(prev int) int {
 	return next
 }
 
-// markSubtreeLeaves marks every leaf under node idx (heap order, root 0) as
-// lost. Level l = floor(log2(idx+1)); the subtree of a level-l node covers
-// 2^(Depth-l) consecutive leaves.
-func (t *FBT) markSubtreeLeaves(idx int, lost []bool) {
+// leafSpan returns the half-open leaf range [lo, hi) under node idx (heap
+// order, root 0). Level l = floor(log2(idx+1)); the subtree of a level-l
+// node covers 2^(Depth-l) consecutive leaves.
+func (t *FBT) leafSpan(idx int) (lo, hi int) {
 	l := 0
 	for (1<<(l+1))-1 <= idx {
 		l++
 	}
 	pos := idx - ((1 << l) - 1)
 	width := 1 << (t.Depth - l)
-	for i := pos * width; i < (pos+1)*width; i++ {
-		lost[i] = true
-	}
+	return pos * width, (pos + 1) * width
 }

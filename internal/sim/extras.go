@@ -9,58 +9,10 @@ import (
 // Integrated2Detailed is Integrated2 with a second output: the number of
 // transmission rounds per group (1 initial + parity rounds), the
 // simulation counterpart of the appendix's E[T] (Eq. 17 is an upper
-// bound on this quantity).
+// bound on this quantity). Both estimates come from one pass of the shared
+// sparse hybrid-ARQ core.
 func Integrated2Detailed(pop loss.Population, k int, tm Timing, groups int) (m, rounds Estimate) {
-	tm.validate()
-	if k < 1 {
-		panic(fmt.Sprintf("sim: Integrated2Detailed(k=%d)", k))
-	}
-	if groups < 1 {
-		panic("sim: groups < 1")
-	}
-	r := pop.R()
-	lost := make([]bool, r)
-	deficit := make([]int, r)
-	mSamples := make([]float64, 0, groups)
-	tSamples := make([]float64, 0, groups)
-	for range groups {
-		pop.Reset()
-		for j := range deficit {
-			deficit[j] = k
-		}
-		tx := 0
-		nRounds := 0
-		firstRound := true
-		for {
-			l := 0
-			for _, d := range deficit {
-				if d > l {
-					l = d
-				}
-			}
-			if l == 0 {
-				break
-			}
-			nRounds++
-			for s := 0; s < l; s++ {
-				dt := tm.Delta
-				if s == 0 && !firstRound {
-					dt = tm.Delta + tm.T
-				}
-				tx++
-				pop.Draw(dt, lost)
-				for j := range lost {
-					if deficit[j] > 0 && !lost[j] {
-						deficit[j]--
-					}
-				}
-			}
-			firstRound = false
-		}
-		mSamples = append(mSamples, float64(tx)/float64(k))
-		tSamples = append(tSamples, float64(nRounds))
-	}
-	return estimate(mSamples), estimate(tSamples)
+	return integrated2(pop, k, tm, groups)
 }
 
 // LayeredInterleaved is Layered with the classical burst-loss counter-

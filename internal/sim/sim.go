@@ -10,11 +10,21 @@
 // temporally-correlated loss interact with the recovery scheme. Spatial
 // loss models ignore the timestamps, so the same engines serve Sections 3,
 // 4.1 and 4.2.
+//
+// The engines track per-receiver recovery state sparsely: a transmission's
+// outcome is consumed as the list of LOST receivers (loss.SparsePopulation
+// when the population supports it, a dense scan otherwise) and the
+// bookkeeping per transmission costs O(losses), not O(R). With the sparse
+// Bernoulli and FBT draw kernels this makes per-sample cost scale with
+// p*R instead of R — the dense pre-PR engines are retained in dense.go as
+// the statistical reference and benchmark baseline.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sort"
 
 	"rmfec/internal/loss"
 )
@@ -42,61 +52,149 @@ type Estimate struct {
 	Samples int     // number of simulated packets or transmission groups
 }
 
-func estimate(samples []float64) Estimate {
-	n := len(samples)
-	if n == 0 {
+// welford is a streaming mean/variance accumulator (Welford's algorithm),
+// so the engines need not retain a per-sample slice at high sample counts.
+type welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) estimate() Estimate {
+	if w.n == 0 {
 		panic("sim: no samples")
 	}
-	var sum float64
-	for _, s := range samples {
-		sum += s
-	}
-	mean := sum / float64(n)
-	var ss float64
-	for _, s := range samples {
-		d := s - mean
-		ss += d * d
-	}
 	se := 0.0
-	if n > 1 {
-		se = math.Sqrt(ss / float64(n-1) / float64(n))
+	if w.n > 1 {
+		se = math.Sqrt(w.m2 / float64(w.n-1) / float64(w.n))
 	}
-	return Estimate{Mean: mean, StdErr: se, Samples: n}
+	return Estimate{Mean: w.mean, StdErr: se, Samples: w.n}
+}
+
+// estimate summarises a sample slice; the engines stream through welford
+// directly, this form remains for small callers and tests.
+func estimate(samples []float64) Estimate {
+	if len(samples) == 0 {
+		panic("sim: no samples")
+	}
+	var w welford
+	for _, s := range samples {
+		w.add(s)
+	}
+	return w.estimate()
+}
+
+// lostSource adapts any Population to sparse lost-index draws: populations
+// implementing loss.SparsePopulation are used directly, everything else
+// (heterogeneous per-receiver Process models) goes through a dense Draw
+// plus one O(R) scan.
+type lostSource struct {
+	pop    loss.Population
+	sparse loss.SparsePopulation // nil when pop draws densely
+	subset loss.SubsetPopulation // nil when pop cannot restrict its draw
+	lost   []bool                // dense scratch
+	idx    []int                 // dense-scan scratch
+	sub    []int                 // drawLostAmong intersection scratch
+}
+
+func newLostSource(pop loss.Population) *lostSource {
+	ls := &lostSource{pop: pop}
+	if sp, ok := pop.(loss.SparsePopulation); ok {
+		ls.sparse = sp
+	} else {
+		ls.lost = make([]bool, pop.R())
+	}
+	if sub, ok := pop.(loss.SubsetPopulation); ok {
+		ls.subset = sub
+	}
+	return ls
+}
+
+// drawLost advances the population by dt and returns the lost receiver
+// indices in ascending order; the slice is valid until the next call.
+func (ls *lostSource) drawLost(dt float64) []int {
+	if ls.sparse != nil {
+		return ls.sparse.DrawLost(dt)
+	}
+	ls.pop.Draw(dt, ls.lost)
+	ls.idx = ls.idx[:0]
+	for j, l := range ls.lost {
+		if l {
+			ls.idx = append(ls.idx, j)
+		}
+	}
+	return ls.idx
+}
+
+// drawLostAmong returns the members of among (ascending, no duplicates)
+// lost by a transmission sent now. Memoryless populations draw only the
+// subset; everything else must still advance every receiver, so the full
+// draw runs and is intersected with among. The result is ascending and
+// valid until the next draw call; among must not alias a previous result.
+func (ls *lostSource) drawLostAmong(dt float64, among []int) []int {
+	if ls.subset != nil {
+		return ls.subset.DrawLostAmong(dt, among)
+	}
+	lost := ls.drawLost(dt)
+	ls.sub = ls.sub[:0]
+	li := 0
+	for _, j := range among {
+		for li < len(lost) && lost[li] < j {
+			li++
+		}
+		if li < len(lost) && lost[li] == j {
+			ls.sub = append(ls.sub, j)
+		}
+	}
+	return ls.sub
 }
 
 // NoFEC simulates plain ARQ: each packet is multicast and re-multicast,
 // with successive transmissions of the same packet spaced Delta+T, until
 // every receiver holds it. Returns the per-packet transmission count.
+//
+// The pending set is tracked as a shrinking index list: after the first
+// transmission only the receivers that lost it remain, and later
+// transmissions draw losses only among the pending receivers, so a
+// retransmission costs O(p*pending) for memoryless populations (and
+// O(losses + pending) otherwise) instead of O(R).
 func NoFEC(pop loss.Population, tm Timing, packets int) Estimate {
 	tm.validate()
 	if packets < 1 {
 		panic("sim: packets < 1")
 	}
-	r := pop.R()
-	lost := make([]bool, r)
-	pending := make([]bool, r)
-	samples := make([]float64, 0, packets)
+	src := newLostSource(pop)
+	var pending []int
+	var w welford
 	for range packets {
 		pop.Reset()
-		for j := range pending {
-			pending[j] = true
-		}
-		remaining := r
+		pending = pending[:0]
+		all := true // pending is implicitly every receiver before tx 1
 		tx := 0
-		for remaining > 0 {
+		for all || len(pending) > 0 {
 			tx++
-			pop.Draw(tm.Delta+tm.T, lost)
-			for j := range pending {
-				if pending[j] && !lost[j] {
-					pending[j] = false
-					remaining--
-				}
+			if all {
+				pending = append(pending[:0], src.drawLost(tm.Delta+tm.T)...)
+				all = false
+				continue
 			}
+			// Only a pending receiver that loses again stays pending.
+			pending = append(pending[:0], src.drawLostAmong(tm.Delta+tm.T, pending)...)
 		}
-		samples = append(samples, float64(tx))
+		w.add(float64(tx))
 	}
-	return estimate(samples)
+	return w.estimate()
 }
+
+// maskWords returns the number of uint64 words needed for a k-bit mask.
+func maskWords(k int) int { return (k + 63) / 64 }
 
 // Layered simulates the layered-FEC architecture of Section 3.1 with TG
 // size k and h parities per block (n = k+h): every round transmits a full
@@ -106,6 +204,14 @@ func NoFEC(pop loss.Population, tm Timing, packets int) Estimate {
 // the round's n slots are lost so the block decodes. Rounds are separated
 // by the feedback gap Delta+T. The returned metric is E[M] including the
 // n/k parity overhead of every data transmission, matching Eq. (3).
+//
+// Receiver state is sparse: a receiver that loses at most h of a round's n
+// slots decodes the whole block and leaves, so the active set after round
+// one is the (tiny) subset of receivers inside the round's loss lists with
+// more than h losses. Untouched receivers never cost anything, and rounds
+// after the first draw losses only among the active receivers (memoryless
+// populations restrict the draw itself; stateful ones intersect), so a
+// retransmission round costs O(active), not O(R).
 func Layered(pop loss.Population, k, h int, tm Timing, groups int) Estimate {
 	tm.validate()
 	if k < 1 || h < 0 {
@@ -116,80 +222,190 @@ func Layered(pop loss.Population, k, h int, tm Timing, groups int) Estimate {
 	}
 	r := pop.R()
 	n := k + h
-	lost := make([]bool, r)
-	missing := make([]bool, r*k) // missing[j*k+i]: receiver j lacks packet i
-	lostCount := make([]int, r)
-	pending := make([]bool, k)
-	samples := make([]float64, 0, groups)
+	wpm := maskWords(k)
+	src := newLostSource(pop)
 
+	lostCount := make([]int, r)       // per-round losses, reset via touched
+	lostMask := make([]uint64, r*wpm) // per-round lost data slots, ditto
+	var touched []int
+	// Active receivers and their missing-packet masks, parallel slices
+	// (wpm words per receiver). Before round one every receiver is
+	// implicitly active with a full mask.
+	var activeJ, nextJ []int
+	var activeMask, nextMask []uint64
+	pendingMask := make([]uint64, wpm)
+	fullMask := make([]uint64, wpm)
+	for s := 0; s < k; s++ {
+		fullMask[s/64] |= 1 << (s % 64)
+	}
+
+	var w welford
 	for range groups {
 		pop.Reset()
-		for i := range missing {
-			missing[i] = true
-		}
-		for i := range pending {
-			pending[i] = true
-		}
+		activeJ = activeJ[:0]
+		all := true
+		copy(pendingMask, fullMask)
 		dataTx := 0
 		firstRound := true
-		for {
+		for all || len(activeJ) > 0 {
 			nPending := 0
-			for _, p := range pending {
-				if p {
-					nPending++
-				}
-			}
-			if nPending == 0 {
-				break
+			for _, word := range pendingMask {
+				nPending += bits.OnesCount64(word)
 			}
 			dataTx += nPending
 
-			for j := range lostCount {
-				lostCount[j] = 0
-			}
+			touched = touched[:0]
 			for s := 0; s < n; s++ {
 				dt := tm.Delta
 				if s == 0 && !firstRound {
 					dt = tm.Delta + tm.T
 				}
-				pop.Draw(dt, lost)
-				for j := range lost {
-					if lost[j] {
-						lostCount[j]++
-					} else if s < k && pending[s] {
-						missing[j*k+s] = false
+				var lost []int
+				if all {
+					lost = src.drawLost(dt)
+				} else {
+					// Receivers that already decoded left the group; only
+					// the active ones' outcomes matter.
+					lost = src.drawLostAmong(dt, activeJ)
+				}
+				for _, j := range lost {
+					if lostCount[j] == 0 {
+						touched = append(touched, j)
+					}
+					lostCount[j]++
+					if s < k {
+						lostMask[j*wpm+s/64] |= 1 << (s % 64)
 					}
 				}
 			}
 			firstRound = false
-			// A decodable block recovers every pending packet.
-			for j := 0; j < r; j++ {
-				if lostCount[j] <= h {
-					base := j * k
-					for i := 0; i < k; i++ {
-						if pending[i] {
-							missing[base+i] = false
+
+			// A receiver survives the round still missing something only if
+			// it lost more than h slots (no decode) and kept missing at
+			// least one pending data slot it lost again.
+			nextJ = nextJ[:0]
+			nextMask = nextMask[:0]
+			if all {
+				// touched follows draw order, so sort the (small) survivor
+				// list to keep the active set ascending for subset draws.
+				for _, j := range touched {
+					if lostCount[j] <= h {
+						continue
+					}
+					base := j * wpm
+					for wi := 0; wi < wpm; wi++ {
+						if lostMask[base+wi]&fullMask[wi] != 0 {
+							nextJ = append(nextJ, j)
+							break
+						}
+					}
+				}
+				sort.Ints(nextJ)
+				for _, j := range nextJ {
+					base := j * wpm
+					for wi := 0; wi < wpm; wi++ {
+						nextMask = append(nextMask, lostMask[base+wi]&fullMask[wi])
+					}
+				}
+				all = false
+			} else {
+				for ai, j := range activeJ {
+					if lostCount[j] <= h {
+						continue
+					}
+					nz := false
+					for wi := 0; wi < wpm; wi++ {
+						if activeMask[ai*wpm+wi]&lostMask[j*wpm+wi] != 0 {
+							nz = true
+							break
+						}
+					}
+					if nz {
+						nextJ = append(nextJ, j)
+						for wi := 0; wi < wpm; wi++ {
+							nextMask = append(nextMask, activeMask[ai*wpm+wi]&lostMask[j*wpm+wi])
 						}
 					}
 				}
 			}
-			for i := 0; i < k; i++ {
-				if !pending[i] {
-					continue
+			activeJ, nextJ = nextJ, activeJ
+			activeMask, nextMask = nextMask, activeMask
+
+			for wi := range pendingMask {
+				pendingMask[wi] = 0
+			}
+			for ai := range activeJ {
+				for wi := 0; wi < wpm; wi++ {
+					pendingMask[wi] |= activeMask[ai*wpm+wi]
 				}
-				still := false
-				for j := 0; j < r; j++ {
-					if missing[j*k+i] {
-						still = true
-						break
-					}
+			}
+			for _, j := range touched {
+				lostCount[j] = 0
+				for wi := 0; wi < wpm; wi++ {
+					lostMask[j*wpm+wi] = 0
 				}
-				pending[i] = still
 			}
 		}
-		samples = append(samples, float64(n)/float64(k)*float64(dataTx)/float64(k))
+		w.add(float64(n) / float64(k) * float64(dataTx) / float64(k))
 	}
-	return estimate(samples)
+	return w.estimate()
+}
+
+// parityCounter is the shared sparse bookkeeping of the integrated
+// engines: after t transmissions a receiver with c losses holds t-c
+// packets of the block and is done once t-c = k. Only LOST draws touch
+// state — receivers outside every loss list finish on schedule for free.
+// cnt buckets receivers by loss count, so the number finishing at
+// transmission t is cnt[t-k] and the largest remaining deficit is
+// k - t + maxC.
+type parityCounter struct {
+	k       int
+	lossCnt []int // per-receiver losses, reset via touched
+	touched []int
+	cnt     []int // cnt[c] = receivers with exactly c losses
+	maxC    int   // largest loss count of any still-active receiver
+}
+
+func newParityCounter(r, k int) *parityCounter {
+	return &parityCounter{k: k, lossCnt: make([]int, r), cnt: make([]int, 1, 64)}
+}
+
+// reset prepares for a new transmission group of r receivers.
+func (pc *parityCounter) reset(r int) {
+	for _, j := range pc.touched {
+		pc.lossCnt[j] = 0
+	}
+	pc.touched = pc.touched[:0]
+	pc.cnt = pc.cnt[:1]
+	pc.cnt[0] = r
+	pc.maxC = 0
+}
+
+// absorb records the lost receivers of transmission number t (1-based) and
+// returns how many receivers completed the block at t.
+func (pc *parityCounter) absorb(t int, lost []int) (done int) {
+	for _, j := range lost {
+		c := pc.lossCnt[j]
+		if c < t-pc.k {
+			continue // already holds k packets
+		}
+		if c == 0 {
+			pc.touched = append(pc.touched, j)
+		}
+		pc.cnt[c]--
+		pc.lossCnt[j] = c + 1
+		if c+1 >= len(pc.cnt) {
+			pc.cnt = append(pc.cnt, 0)
+		}
+		pc.cnt[c+1]++
+		if c+1 > pc.maxC {
+			pc.maxC = c + 1
+		}
+	}
+	if t >= pc.k {
+		return pc.cnt[t-pc.k]
+	}
+	return 0
 }
 
 // Integrated1 simulates the feedback-free integrated scheme of Section 4.2:
@@ -206,31 +422,21 @@ func Integrated1(pop loss.Population, k int, tm Timing, groups int) Estimate {
 		panic("sim: groups < 1")
 	}
 	r := pop.R()
-	lost := make([]bool, r)
-	received := make([]int, r)
-	samples := make([]float64, 0, groups)
+	src := newLostSource(pop)
+	pc := newParityCounter(r, k)
+	var w welford
 	for range groups {
 		pop.Reset()
-		for j := range received {
-			received[j] = 0
-		}
+		pc.reset(r)
 		remaining := r
-		tx := 0
+		t := 0
 		for remaining > 0 {
-			tx++
-			pop.Draw(tm.Delta, lost)
-			for j := range lost {
-				if received[j] < k && !lost[j] {
-					received[j]++
-					if received[j] == k {
-						remaining--
-					}
-				}
-			}
+			t++
+			remaining -= pc.absorb(t, src.drawLost(tm.Delta))
 		}
-		samples = append(samples, float64(tx)/float64(k))
+		w.add(float64(t) / float64(k))
 	}
-	return estimate(samples)
+	return w.estimate()
 }
 
 // Integrated2 simulates the hybrid-ARQ integrated scheme (protocol NP's
@@ -239,6 +445,13 @@ func Integrated1(pop loss.Population, k int, tm Timing, groups int) Estimate {
 // is the largest number of packets any receiver still misses (idealised
 // single-NAK feedback, unbounded parities).
 func Integrated2(pop loss.Population, k int, tm Timing, groups int) Estimate {
+	m, _ := integrated2(pop, k, tm, groups)
+	return m
+}
+
+// integrated2 is the sparse hybrid-ARQ core shared with
+// Integrated2Detailed; it also reports the rounds-per-group estimate.
+func integrated2(pop loss.Population, k int, tm Timing, groups int) (m, rounds Estimate) {
 	tm.validate()
 	if k < 1 {
 		panic(fmt.Sprintf("sim: Integrated2(k=%d)", k))
@@ -247,42 +460,33 @@ func Integrated2(pop loss.Population, k int, tm Timing, groups int) Estimate {
 		panic("sim: groups < 1")
 	}
 	r := pop.R()
-	lost := make([]bool, r)
-	deficit := make([]int, r)
-	samples := make([]float64, 0, groups)
+	src := newLostSource(pop)
+	pc := newParityCounter(r, k)
+	var wm, wr welford
 	for range groups {
 		pop.Reset()
-		for j := range deficit {
-			deficit[j] = k
-		}
-		tx := 0
+		pc.reset(r)
+		remaining := r
+		t := 0
+		nRounds := 0
 		firstRound := true
-		for {
-			l := 0
-			for _, d := range deficit {
-				if d > l {
-					l = d
-				}
-			}
-			if l == 0 {
-				break
-			}
+		for remaining > 0 {
+			// Largest per-receiver deficit: the worst active receiver has
+			// pc.maxC losses and therefore misses k - (t - maxC) packets.
+			l := k - t + pc.maxC
+			nRounds++
 			for s := 0; s < l; s++ {
 				dt := tm.Delta
 				if s == 0 && !firstRound {
 					dt = tm.Delta + tm.T
 				}
-				tx++
-				pop.Draw(dt, lost)
-				for j := range lost {
-					if deficit[j] > 0 && !lost[j] {
-						deficit[j]--
-					}
-				}
+				t++
+				remaining -= pc.absorb(t, src.drawLost(dt))
 			}
 			firstRound = false
 		}
-		samples = append(samples, float64(tx)/float64(k))
+		wm.add(float64(t) / float64(k))
+		wr.add(float64(nRounds))
 	}
-	return estimate(samples)
+	return wm.estimate(), wr.estimate()
 }

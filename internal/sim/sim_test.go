@@ -174,6 +174,137 @@ func TestBurstCensus(t *testing.T) {
 	}
 }
 
+// agreeStats reports whether two independent estimates of the same
+// quantity agree within 4 combined standard errors plus relative slack.
+func agreeStats(a, b Estimate) bool {
+	tol := 4*math.Hypot(a.StdErr, b.StdErr) + 0.01*b.Mean
+	return math.Abs(a.Mean-b.Mean) <= tol
+}
+
+// TestSparseEnginesMatchDenseReference pins every sparse engine against
+// its retained pre-PR dense implementation on fixed seeds, both under the
+// sparse Bernoulli population (geometric skip-sampling) and its dense
+// counterpart.
+func TestSparseEnginesMatchDenseReference(t *testing.T) {
+	const r, p, samples = 400, 0.02, 4000
+	sparsePop := func(seed int64) loss.Population {
+		return loss.NewBernoulliPopulation(r, p, rand.New(rand.NewSource(seed)))
+	}
+	densePop := func(seed int64) loss.Population {
+		return loss.NewIndependentBernoulli(r, p, rand.New(rand.NewSource(seed)))
+	}
+	for name, tc := range map[string]struct {
+		sparse func(loss.Population) Estimate
+		dense  func(loss.Population) Estimate
+	}{
+		"NoFEC": {
+			func(pop loss.Population) Estimate { return NoFEC(pop, PaperTiming, samples) },
+			func(pop loss.Population) Estimate { return DenseNoFEC(pop, PaperTiming, samples) },
+		},
+		"Layered": {
+			func(pop loss.Population) Estimate { return Layered(pop, 7, 1, PaperTiming, samples/4) },
+			func(pop loss.Population) Estimate { return DenseLayered(pop, 7, 1, PaperTiming, samples/4) },
+		},
+		"Integrated1": {
+			func(pop loss.Population) Estimate { return Integrated1(pop, 7, PaperTiming, samples/4) },
+			func(pop loss.Population) Estimate { return DenseIntegrated1(pop, 7, PaperTiming, samples/4) },
+		},
+		"Integrated2": {
+			func(pop loss.Population) Estimate { return Integrated2(pop, 7, PaperTiming, samples/4) },
+			func(pop loss.Population) Estimate { return DenseIntegrated2(pop, 7, PaperTiming, samples/4) },
+		},
+	} {
+		ref := tc.dense(densePop(200))
+		forSparse := tc.sparse(sparsePop(201))
+		if !agreeStats(forSparse, ref) {
+			t.Errorf("%s: sparse engine + sparse population %g+-%g vs dense reference %g+-%g",
+				name, forSparse.Mean, forSparse.StdErr, ref.Mean, ref.StdErr)
+		}
+		forDense := tc.sparse(densePop(202))
+		if !agreeStats(forDense, ref) {
+			t.Errorf("%s: sparse engine + dense population %g+-%g vs dense reference %g+-%g",
+				name, forDense.Mean, forDense.StdErr, ref.Mean, ref.StdErr)
+		}
+	}
+}
+
+// TestMarkovPopulationMatchesDense runs the burst-loss engines of Figs
+// 15/16 with the sparse state-bucket Markov population against the dense
+// per-receiver chains; this also exercises the draw-then-intersect
+// fallback of drawLostAmong (MarkovPopulation is sparse but cannot
+// restrict its draw to a subset).
+func TestMarkovPopulationMatchesDense(t *testing.T) {
+	const r, p, samples = 300, 0.02, 3000
+	sparsePop := func(seed int64) loss.Population {
+		return loss.NewMarkovPopulation(r, p, 2, 25, rand.New(rand.NewSource(seed)))
+	}
+	densePop := func(seed int64) loss.Population {
+		return loss.NewIndependentMarkov(r, p, 2, 25, rand.New(rand.NewSource(seed)))
+	}
+	for name, tc := range map[string]struct {
+		sparse func(loss.Population) Estimate
+		dense  func(loss.Population) Estimate
+	}{
+		"NoFEC": {
+			func(pop loss.Population) Estimate { return NoFEC(pop, PaperTiming, samples) },
+			func(pop loss.Population) Estimate { return DenseNoFEC(pop, PaperTiming, samples) },
+		},
+		"Layered": {
+			func(pop loss.Population) Estimate { return Layered(pop, 7, 1, PaperTiming, samples/4) },
+			func(pop loss.Population) Estimate { return DenseLayered(pop, 7, 1, PaperTiming, samples/4) },
+		},
+		"Integrated2": {
+			func(pop loss.Population) Estimate { return Integrated2(pop, 7, PaperTiming, samples/4) },
+			func(pop loss.Population) Estimate { return DenseIntegrated2(pop, 7, PaperTiming, samples/4) },
+		},
+	} {
+		ref := tc.dense(densePop(230))
+		got := tc.sparse(sparsePop(231))
+		if !agreeStats(got, ref) {
+			t.Errorf("%s: sparse Markov population %g+-%g vs dense reference %g+-%g",
+				name, got.Mean, got.StdErr, ref.Mean, ref.StdErr)
+		}
+	}
+}
+
+// TestSparsePopulationMatchesModel runs the sparse Bernoulli population
+// end-to-end through the engines against the paper's closed forms.
+func TestSparsePopulationMatchesModel(t *testing.T) {
+	pop := func(seed int64, r int, p float64) loss.Population {
+		return loss.NewBernoulliPopulation(r, p, rand.New(rand.NewSource(seed)))
+	}
+	noFEC := NoFEC(pop(210, 50, 0.01), PaperTiming, 40000)
+	if want := model.ExpectedTxNoFEC(50, 0.01); !withinCI(noFEC, want) {
+		t.Errorf("NoFEC sparse: %g+-%g vs model %g", noFEC.Mean, noFEC.StdErr, want)
+	}
+	layered := Layered(pop(211, 50, 0.01), 7, 2, PaperTiming, 20000)
+	if want := model.ExpectedTxLayered(7, 2, 50, 0.01); !withinCI(layered, want) {
+		t.Errorf("Layered sparse: %g+-%g vs model %g", layered.Mean, layered.StdErr, want)
+	}
+	integ := Integrated2(pop(212, 100, 0.01), 4, PaperTiming, 20000)
+	if want := model.ExpectedTxIntegrated(4, 0, 100, 0.01); !withinCI(integ, want) {
+		t.Errorf("Integrated2 sparse: %g+-%g vs model %g", integ.Mean, integ.StdErr, want)
+	}
+}
+
+// TestIntegrated2DetailedSharedCore checks the detailed variant still
+// reports both outputs coherently after the sparse rewrite.
+func TestIntegrated2DetailedSharedCore(t *testing.T) {
+	pop := loss.NewBernoulliPopulation(50, 0.05, rand.New(rand.NewSource(220)))
+	m, rounds := Integrated2Detailed(pop, 7, PaperTiming, 5000)
+	if m.Mean < 1 {
+		t.Errorf("E[M] = %g, must be >= 1", m.Mean)
+	}
+	if rounds.Mean < 1 {
+		t.Errorf("E[rounds] = %g, must be >= 1", rounds.Mean)
+	}
+	// Every group uses at least one round and k transmissions, and extra
+	// rounds imply extra transmissions: m*k >= k + (rounds-1).
+	if m.Mean*7 < 7+(rounds.Mean-1)-0.01 {
+		t.Errorf("inconsistent: E[M]*k = %g < k + E[rounds] - 1 = %g", m.Mean*7, 7+rounds.Mean-1)
+	}
+}
+
 func TestEstimateStatistics(t *testing.T) {
 	e := estimate([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if e.Mean != 5 {

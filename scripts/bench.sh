@@ -2,10 +2,13 @@
 # bench.sh — record the repository's performance trajectory (`make bench`).
 #
 # Runs cmd/bench, which measures the GF(2^8) kernel throughput against the
-# retained scalar reference and the RSE encode/decode packet rates at the
-# paper's k=7,h=7 and k=20,h=5 operating points, and writes the snapshot
-# to BENCH_PR2.json (median of several passes; see cmd/bench). Compare
-# snapshots across PRs to catch codec regressions.
+# retained scalar reference, the RSE encode/decode packet rates at the
+# paper's k=7,h=7 and k=20,h=5 operating points, the sparse Monte-Carlo
+# engines (NoFEC and Layered at R = 1e4 and 1e6, p = 0.01) against the
+# retained dense pre-PR engines, and one end-to-end `figures -quick`
+# regeneration. The snapshot goes to BENCH_PR3.json (median of several
+# passes; see cmd/bench). Compare snapshots across PRs to catch codec or
+# simulation regressions.
 set -eu
 cd "$(dirname "$0")/.."
 

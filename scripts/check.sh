@@ -12,7 +12,13 @@
 #                       BenchmarkKernels suites compile and run
 #   7. go test -race    short-mode tests of the concurrent packages under
 #                       the race detector (udpcast transport, simnet
-#                       scheduler, core engines driven by both)
+#                       scheduler, core engines driven by both, and the
+#                       mcrun parallel Monte-Carlo runner)
+#   8. figures diff     two `figures -quick` runs at different -parallel
+#                       values must produce byte-identical TSV output for
+#                       every simulated figure (the mcrun determinism
+#                       contract, end to end; fig 1 measures this
+#                       machine's coder throughput, so it is excluded)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -37,6 +43,20 @@ echo '== go test ./...'
 go test ./...
 
 echo '== go test -race -short (concurrent packages)'
-go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/
+go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/
+
+echo '== figures determinism (-parallel 1 vs 8, simulated figures)'
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/figures" ./cmd/figures
+for fig in 11 12 14 15 16; do
+    "$tmp/figures" -fig "$fig" -quick -seed 7 -parallel 1 >> "$tmp/p1.tsv"
+    "$tmp/figures" -fig "$fig" -quick -seed 7 -parallel 8 >> "$tmp/p8.tsv"
+done
+if ! cmp -s "$tmp/p1.tsv" "$tmp/p8.tsv"; then
+    echo "figures output differs between -parallel 1 and -parallel 8" >&2
+    diff "$tmp/p1.tsv" "$tmp/p8.tsv" >&2 || true
+    exit 1
+fi
 
 echo 'check.sh: all tiers passed'
