@@ -30,6 +30,7 @@ import (
 	"rmfec/internal/figures"
 	"rmfec/internal/gf256"
 	"rmfec/internal/loss"
+	"rmfec/internal/metrics"
 	"rmfec/internal/rse"
 	"rmfec/internal/sim"
 )
@@ -164,8 +165,9 @@ func kernelBench(runs int) kernelStats {
 	return st
 }
 
-func codecBench(runs, k, h int) codecStats {
+func codecBench(runs, k, h int, reg *metrics.Registry) codecStats {
 	code := rse.MustNew(k, h)
+	code.Instrument(rse.RegisterInstruments(reg))
 	rng := rand.New(rand.NewSource(9))
 	shards := make([][]byte, k+h)
 	for i := range shards {
@@ -303,10 +305,18 @@ func figuresQuickBench() (seconds float64, samples int) {
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_PR3.json", "output path, or - for stdout")
-		runs = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
+		out     = flag.String("out", "BENCH_PR3.json", "output path, or - for stdout")
+		runs    = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
+		showMet = flag.Bool("metrics", false, "print an end-of-run metrics snapshot (Prometheus text) to stderr")
 	)
 	flag.Parse()
+
+	// A nil registry (flag off) turns the codec instruments into no-ops,
+	// which also keeps the measured hot path identical to production use.
+	var reg *metrics.Registry
+	if *showMet {
+		reg = metrics.NewRegistry()
+	}
 
 	snap := snapshot{
 		PR:         3,
@@ -321,7 +331,7 @@ func main() {
 	snap.Kernels = kernelBench(*runs)
 	for _, p := range []struct{ k, h int }{{7, 7}, {20, 5}} {
 		fmt.Fprintf(os.Stderr, "bench: measuring rse codec k=%d h=%d...\n", p.k, p.h)
-		snap.Codec = append(snap.Codec, codecBench(*runs, p.k, p.h))
+		snap.Codec = append(snap.Codec, codecBench(*runs, p.k, p.h, reg))
 	}
 	snap.Sim = simBench(*runs)
 	fmt.Fprintln(os.Stderr, "bench: timing figures -fig all -quick...")
@@ -335,6 +345,7 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
+		printMetrics(reg)
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
@@ -349,4 +360,17 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.2fx scalar, xor %.2fx%s, figures-quick %.1fs)\n",
 		*out, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup, simSummary, snap.FiguresQuickSeconds)
+	printMetrics(reg)
+}
+
+// printMetrics dumps the codec instrument snapshot accumulated across the
+// benchmark passes (rse_* symbol throughput and inversion-cache hits).
+func printMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "# bench: end-of-run metrics snapshot")
+	if err := reg.WritePrometheus(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+	}
 }

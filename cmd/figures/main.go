@@ -29,6 +29,7 @@ import (
 
 	"rmfec/internal/figures"
 	"rmfec/internal/hostperf"
+	"rmfec/internal/metrics"
 )
 
 func main() {
@@ -43,8 +44,21 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		meas       = flag.Bool("measured", false, "use THIS machine's measured timing constants for figs 17/18 instead of the paper's DECstation constants")
 		ascii      = flag.Bool("ascii", false, "render an ASCII plot instead of TSV (stdout only)")
+		showMet    = flag.Bool("metrics", false, "print an end-of-run metrics snapshot (Prometheus text) to stderr")
 	)
 	flag.Parse()
+
+	// Run-level instrumentation: nil registry (flag off) makes every
+	// instrument a no-op, so the generation loop below meters itself
+	// unconditionally.
+	var reg *metrics.Registry
+	if *showMet {
+		reg = metrics.NewRegistry()
+	}
+	figsDone := reg.Counter("figures_generated_total", "figures generated this run")
+	mcSamples := reg.Counter("figures_mc_samples_total", "Monte-Carlo samples behind the generated figures")
+	genSecs := reg.Histogram("figures_generate_seconds", "wall-clock per figure generation",
+		[]float64{0.1, 0.5, 1, 5, 15, 60, 300})
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -88,6 +102,9 @@ func main() {
 			os.Exit(1)
 		}
 		elapsed := time.Since(start)
+		figsDone.Inc()
+		mcSamples.Add(uint64(f.SimSamples))
+		genSecs.Observe(elapsed.Seconds())
 		if *out == "" {
 			var err error
 			if *ascii {
@@ -139,6 +156,13 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
+	}
+
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "# figures: end-of-run metrics snapshot")
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rmfec/internal/core"
+	"rmfec/internal/metrics"
 	"rmfec/internal/udpcast"
 )
 
@@ -23,6 +24,7 @@ func main() {
 		shard   = flag.Int("shard", 1024, "payload bytes per packet")
 		session = flag.Uint("session", 1, "session id")
 		timeout = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+		maddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/trace on this address (off when empty)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -42,10 +44,26 @@ func main() {
 		K:         *k,
 		ShardSize: *shard,
 	}
+	if *maddr != "" {
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Trace = metrics.NewTracer(4096)
+		conn.Instrument(cfg.Metrics)
+	}
 	recv, err := core.NewReceiver(conn, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nprecv:", err)
 		os.Exit(1)
+	}
+	// The endpoint comes up only after NewReceiver so the very first
+	// scrape already sees the full series set.
+	if *maddr != "" {
+		ms, err := metrics.Serve(*maddr, cfg.Metrics, cfg.Trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nprecv:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("nprecv: metrics on http://%s/metrics\n", ms.Addr())
 	}
 	done := make(chan []byte, 1)
 	recv.OnComplete = func(msg []byte) { done <- msg }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rmfec/internal/core"
+	"rmfec/internal/metrics"
 	"rmfec/internal/udpcast"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		a        = flag.Int("proactive", 0, "parities sent with each group before any NAK")
 		carousel = flag.Bool("carousel", false, "integrated FEC 1: stream proactive parities, no polls")
 		adaptive = flag.Bool("adaptive", false, "learn the redundancy level from NAK feedback")
+		maddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/trace on this address (off when empty)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -59,10 +61,26 @@ func main() {
 		Carousel:  *carousel,
 		Adaptive:  *adaptive,
 	}
+	if *maddr != "" {
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Trace = metrics.NewTracer(4096)
+		conn.Instrument(cfg.Metrics)
+	}
 	sender, err := core.NewSender(conn, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "npsend:", err)
 		os.Exit(1)
+	}
+	// The endpoint comes up only after NewSender so the very first scrape
+	// already sees the full series set (check.sh pins the schema).
+	if *maddr != "" {
+		ms, err := metrics.Serve(*maddr, cfg.Metrics, cfg.Trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npsend:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("npsend: metrics on http://%s/metrics\n", ms.Addr())
 	}
 	conn.Serve(sender.HandlePacket)
 

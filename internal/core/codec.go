@@ -41,13 +41,16 @@ func (g gf16Codec) EncodeBlocks(data, parity [][]byte) error { return g.c.Encode
 func (g gf16Codec) Reconstruct(shards [][]byte) error        { return g.c.Reconstruct(shards) }
 
 // newCodec selects the backend for the configuration: GF(2^8) whenever the
-// block fits in 255 packets, GF(2^16) beyond that.
+// block fits in 255 packets, GF(2^16) beyond that. When the config carries
+// a metrics registry, the GF(2^8) codec's rse_* instruments (symbol
+// throughput, inversion-cache hit rate) are registered on it.
 func newCodec(cfg Config) (erasureCodec, error) {
 	if cfg.K+cfg.MaxParity <= 255 {
 		c, err := rse.New(cfg.K, cfg.MaxParity)
 		if err != nil {
 			return nil, err
 		}
+		c.Instrument(rse.RegisterInstruments(cfg.Metrics))
 		return gf8Codec{c}, nil
 	}
 	if cfg.ShardSize%2 != 0 {

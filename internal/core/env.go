@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"rmfec/internal/metrics"
 )
 
 // Env abstracts time, randomness and the multicast medium.
@@ -83,6 +85,16 @@ type Config struct {
 	// answers first" ordering among the receivers that matter while
 	// bounding feedback latency. Default 16.
 	MaxNakSlots int
+
+	// Metrics, when non-nil, registers the engine's live instrument set
+	// (see DESIGN.md "Observability") on the given registry. Several
+	// engines may share one registry; same-named counters aggregate. Nil
+	// disables instrumentation at near-zero cost.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives fixed-size protocol events (NAKs,
+	// repair rounds, decodes — see the Trace* constants) into a bounded
+	// ring buffer. Nil disables tracing.
+	Trace *metrics.Tracer
 }
 
 // Defaults fills unset fields with working values.

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rmfec/internal/loss"
+	"rmfec/internal/metrics"
+	"rmfec/internal/model"
+)
+
+// jsonSnapshot reads the registry back through its JSON exposition, so the
+// reconciliation below exercises the same path an operator scrapes.
+func jsonSnapshot(t *testing.T, reg *metrics.Registry) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]any)
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func counterValue(t *testing.T, snap map[string]any, series string) uint64 {
+	t.Helper()
+	v, ok := snap[series]
+	if !ok {
+		t.Fatalf("series %q missing from snapshot", series)
+	}
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("series %q is %T, want a number", series, v)
+	}
+	return uint64(f)
+}
+
+// TestMetricsReconcileWithStats runs a lossy transfer with the full
+// instrument set attached and cross-checks every live counter against the
+// engines' own post-hoc Stats() — the two bookkeeping systems share no
+// code, so agreement means neither drifted.
+func TestMetricsReconcileWithStats(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tracer := metrics.NewTracer(1 << 12)
+	cfg := baseConfig()
+	cfg.Metrics = reg
+	cfg.Trace = tracer
+	h := newHarness(t, harnessOpts{
+		r:   5,
+		cfg: cfg,
+		mkLoss: func(rng *rand.Rand) loss.Process {
+			return loss.NewBernoulli(0.05, rng)
+		},
+		seed: 901,
+	})
+	h.net.Instrument(reg)
+	msg := testMessage(12000, 902)
+	h.run(t, msg)
+	h.checkDelivered(t, msg)
+	h.sender.Close() // flush the per-TG transmissions histogram
+
+	st := h.sender.Stats()
+	m := h.sender.m
+	checks := []struct {
+		name string
+		got  uint64
+		want int
+	}{
+		{"dataTx", m.dataTx.Value(), st.DataTx},
+		{"parityTx", m.parityTx.Value(), st.ParityTx},
+		{"pollTx", m.pollTx.Value(), st.PollTx},
+		{"nakRx", m.nakRx.Value(), st.NakRx},
+		{"serviceRounds", m.serviceRounds.Value(), st.NakServed},
+		{"encoded", m.encoded.Value(), st.Encoded},
+		{"groups", m.groups.Value(), h.sender.Groups()},
+		{"sourcePkts", m.sourcePkts.Value(), h.sender.Groups() * cfg.K},
+	}
+	for _, c := range checks {
+		if c.got != uint64(c.want) {
+			t.Errorf("sender metric %s = %d, Stats says %d", c.name, c.got, c.want)
+		}
+	}
+
+	// The per-TG histogram sums to exactly the data+parity transmissions.
+	tg := m.tgTx.Snapshot()
+	if tg.Count != uint64(h.sender.Groups()) {
+		t.Errorf("tgTx histogram has %d samples, want one per group (%d)", tg.Count, h.sender.Groups())
+	}
+	if got, want := tg.Sum, float64(st.DataTx+st.ParityTx); got != want {
+		t.Errorf("tgTx histogram sum = %v, want DataTx+ParityTx = %v", got, want)
+	}
+
+	// All receivers registered against the same registry, so the receiver
+	// series aggregate across the population; sum the engines' stats.
+	var rs ReceiverStats
+	for _, rc := range h.receivers {
+		s := rc.Stats()
+		rs.DataRx += s.DataRx
+		rs.ParityRx += s.ParityRx
+		rs.DupRx += s.DupRx
+		rs.Decodes += s.Decodes
+		rs.NakTx += s.NakTx
+		rs.NakSupp += s.NakSupp
+		rs.PollRx += s.PollRx
+		rs.Groups += s.Groups
+	}
+	rm := h.receivers[0].m
+	rchecks := []struct {
+		name string
+		got  uint64
+		want int
+	}{
+		{"dataRx", rm.dataRx.Value(), rs.DataRx},
+		{"parityRx", rm.parityRx.Value(), rs.ParityRx},
+		{"dupRx", rm.dupRx.Value(), rs.DupRx},
+		{"decodes", rm.decodes.Value(), rs.Decodes},
+		{"nakSent", rm.nakSent.Value(), rs.NakTx},
+		{"nakSupp", rm.nakSupp.Value(), rs.NakSupp},
+		{"pollRx", rm.pollRx.Value(), rs.PollRx},
+		{"deliveries", rm.deliveries.Value(), len(h.receivers)},
+	}
+	for _, c := range rchecks {
+		if c.got != uint64(c.want) {
+			t.Errorf("receiver metric %s = %d, summed Stats say %d", c.name, c.got, c.want)
+		}
+	}
+	if got := rm.recovery.Snapshot().Count; got != uint64(rs.Groups) {
+		t.Errorf("recovery histogram has %d samples, stats counted %d groups", got, rs.Groups)
+	}
+
+	// Network-level accounting, read back through the JSON exposition.
+	snap := jsonSnapshot(t, reg)
+	sent, delivered, dropped := h.net.Stats()
+	if got := counterValue(t, snap, "simnet_net_tx_total"); got != sent {
+		t.Errorf("simnet_net_tx_total = %d, network counted %d", got, sent)
+	}
+	if got := counterValue(t, snap, `simnet_net_rx_total{result="delivered"}`); got != delivered {
+		t.Errorf("delivered series = %d, network counted %d", got, delivered)
+	}
+	if got := counterValue(t, snap, `simnet_net_rx_total{result="dropped"}`); got != dropped {
+		t.Errorf("dropped series = %d, network counted %d", got, dropped)
+	}
+	if dropped == 0 {
+		t.Error("5% loss produced no drops; the reconciliation proved nothing")
+	}
+
+	// The tracer saw the protocol: NAKs were multicast and groups decoded.
+	kinds := make(map[string]int)
+	for _, ev := range tracer.Snapshot() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{TraceNakTx, TraceNakRx, TraceServiceRound, TraceDecode, TraceDeliver} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events under loss; kinds seen: %v", want, kinds)
+		}
+	}
+	if kinds[TraceDeliver] != len(h.receivers) {
+		t.Errorf("trace has %d deliver events, want %d", kinds[TraceDeliver], len(h.receivers))
+	}
+}
+
+// TestLiveEMMatchesAnalyticModel is the end-to-end calibration check of
+// the observability layer: the live E[M] that an operator would read off
+// np_sender_tg_transmissions (mean/k) must agree with the paper's analytic
+// expectation within 3 standard errors at an operating point where the
+// implemented protocol matches the idealized model. R = 1 is that point:
+// with a single receiver there are no cross-receiver feedback races, the
+// NAK asks for the exact deficit and the sender serves exactly it, which
+// is the process ExpectedTxIntegratedFinite integrates.
+func TestLiveEMMatchesAnalyticModel(t *testing.T) {
+	const (
+		k = 8
+		p = 0.05
+	)
+	reg := metrics.NewRegistry()
+	cfg := baseConfig()
+	cfg.Metrics = reg
+	h := newHarness(t, harnessOpts{
+		r:   1,
+		cfg: cfg,
+		mkLoss: func(rng *rand.Rand) loss.Process {
+			return loss.NewBernoulli(p, rng)
+		},
+		seed: 911,
+	})
+	// ~250 groups: enough samples for a tight standard error without
+	// making the virtual-time run slow.
+	msg := testMessage(250*k*cfg.ShardSize, 912)
+	h.run(t, msg)
+	h.checkDelivered(t, msg)
+	h.sender.Close()
+
+	tg := h.sender.m.tgTx.Snapshot()
+	if tg.Count < 200 {
+		t.Fatalf("only %d TG samples", tg.Count)
+	}
+	liveEM := tg.Mean / k
+	se := tg.StdErr() / k
+	want := model.ExpectedTxIntegratedFinite(k, h.sender.cfg.MaxParity, 0, 1, p)
+	if se <= 0 || math.IsNaN(se) {
+		t.Fatalf("degenerate standard error %v", se)
+	}
+	if diff := math.Abs(liveEM - want); diff > 3*se {
+		t.Errorf("live E[M] = %.4f (SE %.4f) vs analytic %.4f: |diff| = %.4f > 3 SE = %.4f",
+			liveEM, se, want, diff, 3*se)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"time"
 
+	"rmfec/internal/metrics"
 	"rmfec/internal/packet"
 )
 
@@ -59,6 +60,7 @@ type Receiver struct {
 	OnGroup func(g uint32, shards [][]byte)
 
 	stats ReceiverStats
+	m     receiverMetrics
 }
 
 type rxGroup struct {
@@ -90,6 +92,7 @@ func NewReceiver(env Env, cfg Config) (*Receiver, error) {
 		code:    code,
 		groups:  make(map[uint32]*rxGroup),
 		totalTG: -1,
+		m:       newReceiverMetrics(cfg.Metrics),
 	}, nil
 }
 
@@ -163,6 +166,7 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 	}
 	if g.shards[idx] != nil {
 		r.stats.DupRx++
+		r.m.dupRx.Inc()
 		return
 	}
 	g.shards[idx] = pkt.Payload // Decode already copied
@@ -173,8 +177,10 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 	}
 	if pkt.Type == packet.TypeData {
 		r.stats.DataRx++
+		r.m.dataRx.Inc()
 	} else {
 		r.stats.ParityRx++
+		r.m.parityRx.Inc()
 	}
 	if g.have >= r.cfg.K {
 		r.finishGroup(pkt.Group, g)
@@ -195,9 +201,18 @@ func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
 			return // cannot happen with have >= k; stay incomplete
 		}
 		r.stats.Decodes++
+		r.m.decodes.Inc()
+		parities := 0
+		for i := r.cfg.K; i < len(g.shards); i++ {
+			if g.shards[i] != nil {
+				parities++
+			}
+		}
+		r.cfg.Trace.Record(metrics.Event{At: r.env.Now(), Kind: TraceDecode, A: uint64(idx), B: uint64(parities)})
 	}
 	g.done = true
 	r.decoded++
+	r.m.groupsDone.Inc()
 	if g.sawShard {
 		lat := r.env.Now() - g.firstAt
 		r.stats.LatencySum += lat
@@ -205,6 +220,7 @@ func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
 			r.stats.LatencyMax = lat
 		}
 		r.stats.Groups++
+		r.m.recovery.Observe(lat.Seconds())
 	}
 	if g.nakCancel != nil {
 		g.nakCancel()
@@ -221,6 +237,7 @@ func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
 // answer earlier — unless damped by an equal-or-larger NAK.
 func (r *Receiver) onPoll(pkt *packet.Packet) {
 	r.stats.PollRx++
+	r.m.pollRx.Inc()
 	if int64(pkt.Group) >= int64(r.cfg.MaxGroups) {
 		return
 	}
@@ -275,6 +292,7 @@ func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
 		// Damped: someone already asked for at least as much. Re-check
 		// later in case the repair round is lost.
 		r.stats.NakSupp++
+		r.m.nakSupp.Inc()
 	} else {
 		nak := packet.Packet{
 			Type:    packet.TypeNak,
@@ -285,6 +303,8 @@ func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
 		}
 		r.env.MulticastControl(nak.MustEncode()) //nolint:errcheck // best-effort
 		r.stats.NakTx++
+		r.m.nakSent.Inc()
+		r.cfg.Trace.Record(metrics.Event{At: r.env.Now(), Kind: TraceNakTx, A: uint64(idx), B: uint64(l)})
 	}
 	// Retry with linear backoff while the group stays incomplete.
 	g.retryCount++
@@ -343,6 +363,8 @@ func (r *Receiver) maybeComplete() {
 	msg = msg[:r.msgLen]
 	r.complete = true
 	r.stats.Reassembly = 1
+	r.m.deliveries.Inc()
+	r.cfg.Trace.Record(metrics.Event{At: r.env.Now(), Kind: TraceDeliver, A: uint64(r.totalTG), B: r.msgLen})
 	r.Close()
 	if r.OnComplete != nil {
 		r.OnComplete(msg)

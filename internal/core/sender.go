@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"rmfec/internal/metrics"
 	"rmfec/internal/packet"
 )
 
@@ -43,7 +44,9 @@ type Sender struct {
 	closed  bool
 	started bool
 
-	stats SenderStats
+	stats   SenderStats
+	m       senderMetrics
+	flushed bool // per-TG transmission histogram observed (once, at Close)
 }
 
 type txGroup struct {
@@ -54,6 +57,7 @@ type txGroup struct {
 	queued     int      // parities queued but not yet sent, for NAK aggregation
 	resendCur  int      // rotating data index for the parity-exhaustion fallback
 	maxNeed    int      // largest NAK deficit seen, feeds the adaptive EWMA
+	txCount    int      // data+parity packets actually transmitted for this TG
 }
 
 type outPkt struct {
@@ -78,7 +82,7 @@ func NewSender(env Env, cfg Config) (*Sender, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sender{env: env, cfg: cfg, code: code}, nil
+	return &Sender{env: env, cfg: cfg, code: code, m: newSenderMetrics(cfg.Metrics, cfg.K)}, nil
 }
 
 // Stats returns a snapshot of the sender's counters.
@@ -87,10 +91,22 @@ func (s *Sender) Stats() SenderStats { return s.stats }
 // Groups returns the number of transmission groups of the current message.
 func (s *Sender) Groups() int { return len(s.groups) }
 
-// Close stops the sender; queued packets are dropped.
+// Close stops the sender; queued packets are dropped. The first Close
+// also flushes the per-TG transmission histogram (np_sender_tg_transmissions)
+// so the live E[M] = mean(tg transmissions)/k becomes readable from the
+// registry.
 func (s *Sender) Close() {
 	s.closed = true
 	s.sendQ = nil
+	s.m.queueDepth.Set(0)
+	if !s.flushed {
+		s.flushed = true
+		for _, tg := range s.groups {
+			if tg.txCount > 0 {
+				s.m.tgTx.Observe(float64(tg.txCount))
+			}
+		}
+	}
 }
 
 // Send starts the reliable multicast transfer of msg. It must be called at
@@ -147,10 +163,13 @@ func (s *Sender) Send(msg []byte) error {
 		for g, tg := range s.groups {
 			tg.parities = flatParity[g*s.cfg.MaxParity : (g+1)*s.cfg.MaxParity : (g+1)*s.cfg.MaxParity]
 			s.stats.Encoded += s.cfg.MaxParity
+			s.m.encoded.Add(uint64(s.cfg.MaxParity))
 		}
 	}
 	s.ewma = float64(s.cfg.Proactive)
 	s.finLeft = s.cfg.FinCount
+	s.m.groups.Add(uint64(nTG))
+	s.m.sourcePkts.Add(uint64(nTG * s.cfg.K))
 	s.pump()
 	return nil
 }
@@ -189,7 +208,7 @@ func (s *Sender) refill() {
 		s.ewma *= 0.97
 	}
 	for i := 0; i < s.cfg.K; i++ {
-		s.enqueue(s.dataPacket(tg, i), false)
+		s.enqueue(outPkt{wire: s.dataPacket(tg, i), kind: packet.TypeData, tg: tg})
 	}
 	a := s.proactiveFor()
 	for j := 0; j < a; j++ {
@@ -197,7 +216,7 @@ func (s *Sender) refill() {
 		if err != nil {
 			break // parity budget exhausted; the poll still goes out
 		}
-		s.enqueue(wire, false)
+		s.enqueue(outPkt{wire: wire, kind: packet.TypeParity, tg: tg})
 	}
 	if !s.cfg.Carousel {
 		s.enqueuePoll(tg, s.cfg.K+a)
@@ -221,6 +240,8 @@ func (s *Sender) HandlePacket(wire []byte) {
 		return
 	}
 	s.stats.NakRx++
+	s.m.nakRx.Inc()
+	s.cfg.Trace.Record(metrics.Event{At: s.env.Now(), Kind: TraceNakRx, A: uint64(pkt.Group), B: uint64(pkt.Count)})
 	g := int(pkt.Group)
 	if g < 0 || g >= len(s.groups) {
 		return
@@ -257,6 +278,8 @@ func (s *Sender) HandlePacket(wire []byte) {
 	}
 	extra := need - tg.queued
 	s.stats.NakServed++
+	s.m.serviceRounds.Inc()
+	s.cfg.Trace.Record(metrics.Event{At: s.env.Now(), Kind: TraceServiceRound, A: uint64(tg.index), B: uint64(extra)})
 	s.serviceRound(tg, extra)
 }
 
@@ -287,15 +310,17 @@ func (s *Sender) serviceRound(tg *txGroup, extra int) {
 	pollWire := s.pollPacket(tg, extra)
 	round = append(round, outPkt{wire: pollWire, control: true, kind: packet.TypePoll})
 	s.sendQ = append(round, s.sendQ...)
+	s.m.queueDepth.Set(int64(len(s.sendQ)))
 	s.pump()
 }
 
-func (s *Sender) enqueue(wire []byte, control bool) {
-	s.sendQ = append(s.sendQ, outPkt{wire: wire, control: control})
+func (s *Sender) enqueue(p outPkt) {
+	s.sendQ = append(s.sendQ, p)
+	s.m.queueDepth.Set(int64(len(s.sendQ)))
 }
 
 func (s *Sender) enqueuePoll(tg *txGroup, roundSize int) {
-	s.sendQ = append(s.sendQ, outPkt{wire: s.pollPacket(tg, roundSize), control: true, kind: packet.TypePoll})
+	s.enqueue(outPkt{wire: s.pollPacket(tg, roundSize), control: true, kind: packet.TypePoll})
 }
 
 func (s *Sender) enqueueFin() {
@@ -308,7 +333,7 @@ func (s *Sender) enqueueFin() {
 		Total:   uint32(len(s.groups)),
 		Payload: payload[:],
 	}
-	s.sendQ = append(s.sendQ, outPkt{wire: p.MustEncode(), control: true, kind: packet.TypeFin})
+	s.enqueue(outPkt{wire: p.MustEncode(), control: true, kind: packet.TypeFin})
 }
 
 func (s *Sender) dataPacket(tg *txGroup, i int) []byte {
@@ -339,6 +364,7 @@ func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
 			return nil, err
 		}
 		s.stats.Encoded++
+		s.m.encoded.Inc()
 	}
 	tg.nextParity++
 	p := packet.Packet{
@@ -389,6 +415,7 @@ func (s *Sender) pump() {
 	}
 	out := s.sendQ[0]
 	s.sendQ = s.sendQ[1:]
+	s.m.queueDepth.Set(int64(len(s.sendQ)))
 	s.transmit(out)
 	s.pumping = true
 	s.env.After(s.cfg.Delta, func() {
@@ -398,22 +425,24 @@ func (s *Sender) pump() {
 }
 
 func (s *Sender) transmit(out outPkt) {
-	kind := out.kind
-	if kind == 0 {
-		// Infer from wire for packets queued by Send.
-		if p, err := packet.Decode(out.wire); err == nil {
-			kind = p.Type
-		}
-	}
-	switch kind {
+	// Every enqueue path stamps the packet kind, so no wire decode is
+	// needed here to classify the transmission.
+	switch out.kind {
 	case packet.TypeData:
 		s.stats.DataTx++
+		s.m.dataTx.Inc()
 	case packet.TypeParity:
 		s.stats.ParityTx++
+		s.m.parityTx.Inc()
 	case packet.TypePoll:
 		s.stats.PollTx++
+		s.m.pollTx.Inc()
 	case packet.TypeFin:
 		s.stats.FinTx++
+		s.m.finTx.Inc()
+	}
+	if out.tg != nil && (out.kind == packet.TypeData || out.kind == packet.TypeParity) {
+		out.tg.txCount++
 	}
 	if out.service && out.tg != nil && out.tg.queued > 0 {
 		out.tg.queued--

@@ -16,6 +16,9 @@
 //   - mutex-discipline: a method that calls another method of the same
 //     receiver while mu may be held, where the callee itself locks mu, is a
 //     self-deadlock and is flagged.
+//   - doc-comment: packages under internal/ carry a package comment and
+//     doc comments on every exported declaration; the docs are where the
+//     paper's definitions are pinned to the code.
 //
 // Findings can be suppressed line-by-line with
 //
@@ -43,6 +46,7 @@ type Diagnostic struct {
 	Msg  string
 }
 
+// String renders the finding in the conventional compiler format.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
 }
@@ -62,6 +66,10 @@ type Config struct {
 	GoroutineFreePackages []string
 	// FloatEqPackages are checked by float-eq.
 	FloatEqPackages []string
+	// DocPackagePrefixes are checked by doc-comment. Entries ending in "/"
+	// match whole trees ("internal/" covers every internal package); other
+	// entries match one package directory exactly.
+	DocPackagePrefixes []string
 }
 
 // DefaultConfig returns the rule applicability for this repository.
@@ -91,6 +99,9 @@ func DefaultConfig() Config {
 			"internal/model",
 			"internal/numeric",
 			"internal/figures",
+		},
+		DocPackagePrefixes: []string{
+			"internal/",
 		},
 	}
 }
@@ -133,6 +144,11 @@ func Rules() []Rule {
 			Name:  "mutex-discipline",
 			Doc:   "no call to a mu-locking method of the same receiver while mu may already be held",
 			check: checkMutexDiscipline,
+		},
+		{
+			Name:  "doc-comment",
+			Doc:   "documented packages carry a package comment and doc comments on every exported declaration",
+			check: checkDocComments,
 		},
 	}
 }

@@ -364,3 +364,113 @@ func Fan(fns []func()) {
 	})
 	wantDiags(t, got, "engine/engine.go:5: no-goroutines")
 }
+
+func docCfg() Config {
+	return Config{DocPackagePrefixes: []string{"internal/"}}
+}
+
+func TestDocCommentPositive(t *testing.T) {
+	got := runFixture(t, docCfg(), map[string]string{
+		// No package comment, undocumented exports of every kind.
+		"internal/api/api.go": `package api
+
+func Exported() {}
+
+type Thing struct{}
+
+const Limit = 7
+
+var Count int
+
+func (t Thing) Method() {}
+`,
+	})
+	wantDiags(t, got,
+		"internal/api/api.go:1: doc-comment",  // package comment
+		"internal/api/api.go:3: doc-comment",  // Exported
+		"internal/api/api.go:5: doc-comment",  // Thing
+		"internal/api/api.go:7: doc-comment",  // Limit
+		"internal/api/api.go:9: doc-comment",  // Count
+		"internal/api/api.go:11: doc-comment", // Method
+	)
+}
+
+func TestDocCommentNegative(t *testing.T) {
+	got := runFixture(t, docCfg(), map[string]string{
+		"internal/api/api.go": `// Package api is documented.
+package api
+
+// Exported is documented.
+func Exported() {}
+
+// Thing is documented.
+type Thing struct{}
+
+// Group comments cover every spec inside the group.
+const (
+	Limit = 7
+	Cap   = 9
+)
+
+// Trailing line comments count too.
+var (
+	Count int // documented inline
+)
+
+// Method is documented.
+func (t Thing) Method() {}
+
+// unexported declarations need no docs, and exported methods on
+// unexported types are not package API.
+type helper struct{}
+
+func (h helper) Visible() {}
+
+func internalOnly() {}
+`,
+		// Packages outside the configured prefix are exempt entirely.
+		"other/other.go": `package other
+
+func Undocumented() {}
+`,
+	})
+	wantDiags(t, got)
+}
+
+func TestDocCommentPackageCommentInAnyFile(t *testing.T) {
+	got := runFixture(t, docCfg(), map[string]string{
+		"internal/api/doc.go": `// Package api carries its comment in doc.go.
+package api
+`,
+		"internal/api/api.go": `package api
+
+// Exported is documented.
+func Exported() {}
+`,
+	})
+	wantDiags(t, got)
+}
+
+func TestDocCommentIgnoreDirective(t *testing.T) {
+	got := runFixture(t, docCfg(), map[string]string{
+		"internal/api/api.go": `// Package api is documented.
+package api
+
+//rmlint:ignore doc-comment generated shim, documented at the generator
+func Exported() {}
+`,
+	})
+	wantDiags(t, got)
+}
+
+func TestDefaultConfigCoversInternalDocs(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, rel := range []string{"internal/core", "internal/metrics", "internal/lint"} {
+		if !pathHasPrefix(rel, cfg.DocPackagePrefixes) {
+			t.Errorf("%s not covered by DocPackagePrefixes", rel)
+		}
+	}
+	if pathHasPrefix("cmd/npsend", cfg.DocPackagePrefixes) {
+		t.Error("cmd/ should not be covered by DocPackagePrefixes")
+	}
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// checkDocComments enforces godoc discipline in the configured package
+// trees: every package carries a package comment, and every exported
+// top-level declaration (func, method on an exported type, type, const,
+// var) carries a doc comment. The repository doubles as the paper's prose
+// reproduction — the doc comments are where wire formats, protocol rules
+// and estimator semantics are pinned to the text — so an undocumented
+// export is a regression, not a style nit.
+//
+// A const/var group is covered by its group comment: specs inside a
+// documented GenDecl need no individual comment.
+func checkDocComments(p *Package, cfg Config) []Diagnostic {
+	if !pathHasPrefix(p.Rel, cfg.DocPackagePrefixes) {
+		return nil
+	}
+	var diags []Diagnostic
+
+	// Package comment: any one file of the package may carry it.
+	hasPkgDoc := false
+	for _, f := range p.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+			break
+		}
+	}
+	if !hasPkgDoc && len(p.Files) > 0 {
+		first := p.Files[0]
+		for _, f := range p.Files[1:] {
+			if p.Fset.Position(f.Package).Filename < p.Fset.Position(first.Package).Filename {
+				first = f
+			}
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  p.Fset.Position(first.Package),
+			Rule: "doc-comment",
+			Msg:  fmt.Sprintf("package %s has no package comment", p.Types.Name()),
+		})
+	}
+
+	exportedTypes := exportedTypeNames(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || hasDoc(d.Doc) {
+					continue
+				}
+				if recv := receiverTypeName(d); recv != "" && !exportedTypes[recv] {
+					continue // method on an unexported type: not package API
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(d.Pos()),
+					Rule: "doc-comment",
+					Msg:  fmt.Sprintf("exported %s %s has no doc comment", funcKind(d), d.Name.Name),
+				})
+			case *ast.GenDecl:
+				diags = append(diags, checkGenDeclDocs(p, d)...)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return diags
+}
+
+func checkGenDeclDocs(p *Package, d *ast.GenDecl) []Diagnostic {
+	groupDoc := hasDoc(d.Doc)
+	var diags []Diagnostic
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			// A type declaration needs its own comment even inside a
+			// group: godoc shows each type on its own page.
+			if s.Name.IsExported() && !hasDoc(s.Doc) && !(groupDoc && len(d.Specs) == 1) {
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(s.Pos()),
+					Rule: "doc-comment",
+					Msg:  fmt.Sprintf("exported type %s has no doc comment", s.Name.Name),
+				})
+			}
+		case *ast.ValueSpec:
+			if groupDoc || hasDoc(s.Doc) || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					diags = append(diags, Diagnostic{
+						Pos:  p.Fset.Position(s.Pos()),
+						Rule: "doc-comment",
+						Msg:  fmt.Sprintf("exported %s %s has no doc comment", declKind(d), name.Name),
+					})
+					break // one finding per spec line
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// exportedTypeNames collects the package's exported top-level type names,
+// so exported methods on unexported helper types can be exempted.
+func exportedTypeNames(p *Package) map[string]bool {
+	names := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range d.Specs {
+				if s, ok := spec.(*ast.TypeSpec); ok && s.Name.IsExported() {
+					names[s.Name.Name] = true
+				}
+			}
+		}
+	}
+	return names
+}
+
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+// receiverTypeName returns the base type name of a method receiver
+// ("Code" for *Code), or "" for a plain function.
+func receiverTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func declKind(d *ast.GenDecl) string {
+	switch d.Tok.String() {
+	case "const":
+		return "const"
+	case "var":
+		return "var"
+	}
+	return "declaration"
+}
+
+// pathHasPrefix reports whether rel equals one of the entries or sits
+// under an entry ending in "/" (a tree prefix such as "internal/").
+func pathHasPrefix(rel string, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if rel == pre || rel == strings.TrimSuffix(pre, "/") {
+			return true
+		}
+		if strings.HasSuffix(pre, "/") && strings.HasPrefix(rel, pre) {
+			return true
+		}
+	}
+	return false
+}

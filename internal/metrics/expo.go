@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): one # HELP and # TYPE line per
+// metric name, then one sample line per series. Histograms emit the
+// conventional cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	seenHeader := make(map[string]bool)
+	for _, m := range r.snapshot() {
+		d := m.desc()
+		if !seenHeader[d.name] {
+			seenHeader[d.name] = true
+			typ := "untyped"
+			switch m.(type) {
+			case *Counter:
+				typ = "counter"
+			case *Gauge:
+				typ = "gauge"
+			case *Histogram:
+				typ = "histogram"
+			}
+			if d.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", d.name, strings.ReplaceAll(d.help, "\n", " ")); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", d.name, typ); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch v := m.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s %d\n", d.id, v.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", d.id, v.Value())
+		case *Histogram:
+			err = writePromHistogram(w, d, v.Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram series set. Bucket series carry
+// the instrument's labels plus the cumulative le bound.
+func writePromHistogram(w io.Writer, d *desc, s HistogramSnapshot) error {
+	var cum uint64
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = trimFloat(s.Bounds[i])
+		}
+		labels := append(append([]Label(nil), d.labels...), Label{"le", le})
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesID(d.name+"_bucket", labels), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", seriesID(d.name+"_sum", d.labels), trimFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesID(d.name+"_count", d.labels), s.Count)
+	return err
+}
+
+// trimFloat renders a float compactly ("0.005", "1", "2.5e+06").
+func trimFloat(f float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", f), ".0")
+}
+
+// jsonHistogram is the JSON shape of one histogram series.
+type jsonHistogram struct {
+	Count    uint64            `json:"count"`
+	Sum      float64           `json:"sum"`
+	Mean     float64           `json:"mean"`
+	Variance float64           `json:"variance"`
+	StdErr   float64           `json:"stderr"`
+	Buckets  map[string]uint64 `json:"buckets"`
+}
+
+// WriteJSON renders every registered instrument as one flat expvar-style
+// JSON object keyed by series id: counters and gauges as numbers,
+// histograms as {count, sum, mean, variance, stderr, buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	out := make(map[string]any)
+	for _, m := range r.snapshot() {
+		d := m.desc()
+		switch v := m.(type) {
+		case *Counter:
+			out[d.id] = v.Value()
+		case *Gauge:
+			out[d.id] = v.Value()
+		case *Histogram:
+			s := v.Snapshot()
+			buckets := make(map[string]uint64, len(s.Counts))
+			for i, c := range s.Counts {
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = trimFloat(s.Bounds[i])
+				}
+				buckets[le] = c
+			}
+			out[d.id] = jsonHistogram{
+				Count: s.Count, Sum: s.Sum, Mean: s.Mean,
+				Variance: s.Variance, StdErr: s.StdErr(), Buckets: buckets,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Names returns the sorted series ids currently registered — the metrics
+// schema, used by the check.sh endpoint smoke to diff the exposition
+// against scripts/metrics_schema.txt.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	var names []string
+	for _, m := range r.snapshot() {
+		names = append(names, m.desc().id)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text by
+// default, the JSON form when the request path ends in ".json" or has
+// ?format=json. Mount it at both /metrics and /metrics.json:
+//
+//	mux.Handle("/metrics", reg.Handler())
+//	mux.Handle("/metrics.json", reg.Handler())
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasSuffix(req.URL.Path, ".json") || req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,379 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tx_total", "transmissions", Label{"kind", "data"})
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Idempotent registration: same (name, labels) is the same instrument,
+	// regardless of label order.
+	again := r.Counter("tx_total", "transmissions", Label{"kind", "data"})
+	if again != c {
+		t.Error("re-registration returned a different counter")
+	}
+	other := r.Counter("tx_total", "transmissions", Label{"kind", "parity"})
+	if other == c {
+		t.Error("distinct label value returned the same series")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Errorf("SetMax = %d, want 11", got)
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(9)
+	h.Observe(0.5)
+	var tr *Tracer
+	tr.Record(Event{Kind: "x"})
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 || tr.Total() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if tr.Snapshot() != nil {
+		t.Error("nil tracer snapshot must be nil")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+// TestHistogramWelford checks the streaming mean/variance against the
+// naive two-pass computation.
+func TestHistogramWelford(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	rng := rand.New(rand.NewSource(42))
+	var xs []float64
+	for i := 0; i < 10_000; i++ {
+		x := rng.ExpFloat64() * 0.05
+		xs = append(xs, x)
+		h.Observe(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	variance := m2 / float64(len(xs)-1)
+
+	s := h.Snapshot()
+	if s.Count != uint64(len(xs)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(xs))
+	}
+	if math.Abs(s.Mean-mean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", s.Mean, mean)
+	}
+	if math.Abs(s.Variance-variance) > 1e-9*variance {
+		t.Errorf("variance = %v, want %v", s.Variance, variance)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+	if se := s.StdErr(); math.Abs(se-math.Sqrt(variance/float64(len(xs)))) > 1e-12 {
+		t.Errorf("stderr = %v", se)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("v", "", []float64{1, 2})
+	for _, x := range []float64{0.5, 1, 1.5, 2, 3} {
+		h.Observe(x)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 1} // le=1: {0.5, 1}; le=2: {1.5, 2}; +Inf: {3}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx_total", "total transmissions", Label{"kind", "data"}).Add(3)
+	r.Counter("tx_total", "total transmissions", Label{"kind", "parity"}).Add(1)
+	r.Gauge("depth", "queue depth").Set(2)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP tx_total total transmissions",
+		"# TYPE tx_total counter",
+		`tx_total{kind="data"} 3`,
+		`tx_total{kind="parity"} 1`,
+		"# TYPE depth gauge",
+		"depth 2",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.5"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 1",
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE tx_total") != 1 {
+		t.Error("TYPE header repeated for labeled series")
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx_total", "").Add(3)
+	r.Histogram("lat", "", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"tx_total": 3`, `"count": 1`, `"mean": 0.5`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b", "")
+	r.Counter("a_total", "", Label{"k", "v"})
+	got := r.Names()
+	if len(got) != 2 || got[0] != `a_total{k="v"}` || got[1] != "b" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(Event{At: time.Duration(i), Kind: "e", A: uint64(i)})
+	}
+	if tr.Total() != 6 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	ev := tr.Snapshot()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(i + 2); e.A != want {
+			t.Errorf("event %d: A = %d, want %d (oldest-first order)", i, e.A, want)
+		}
+	}
+	// Under capacity: exactly the recorded events.
+	tr2 := NewTracer(8)
+	tr2.Record(Event{A: 1})
+	if got := tr2.Snapshot(); len(got) != 1 || got[0].A != 1 {
+		t.Errorf("snapshot = %v", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{0.5})
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i&1) * 0.9)
+				tr.Record(Event{Kind: "c", A: uint64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 {
+		t.Errorf("counter %d gauge %d, want 8000 each", c.Value(), g.Value())
+	}
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("histogram count %d, want 8000", s.Count)
+	}
+	if tr.Total() != 8000 {
+		t.Errorf("tracer total %d, want 8000", tr.Total())
+	}
+}
+
+// TestHotPathAllocs pins the zero-allocation contract of every hot-path
+// instrument operation; the protocol engines call these per packet.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{0.001, 0.01, 0.1, 1})
+	tr := NewTracer(1024)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(5) }},
+		{"Gauge.Add", func() { g.Add(-1) }},
+		{"Gauge.SetMax", func() { g.SetMax(9) }},
+		{"Histogram.Observe", func() { h.Observe(0.05) }},
+		{"Tracer.Record", func() { tr.Record(Event{At: 1, Kind: "k", A: 2, B: 3}) }},
+	}
+	// Nil instruments must also be free.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	var ntr *Tracer
+	cases = append(cases,
+		struct {
+			name string
+			fn   func()
+		}{"nil Counter.Inc", func() { nc.Inc() }},
+		struct {
+			name string
+			fn   func()
+		}{"nil Gauge.Set", func() { ng.Set(1) }},
+		struct {
+			name string
+			fn   func()
+		}{"nil Histogram.Observe", func() { nh.Observe(1) }},
+		struct {
+			name string
+			fn   func()
+		}{"nil Tracer.Record", func() { ntr.Record(Event{}) }},
+	)
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", "", []float64{0.001, 0.01, 0.1, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.05)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx_total", "transmissions").Add(3)
+	tr := NewTracer(8)
+	s, err := Serve("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "tx_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, `"tx_total": 3`) {
+		t.Errorf("/metrics.json missing counter:\n%s", body)
+	}
+	// An empty trace is an empty JSON array, not "null" — dashboards and
+	// jq pipelines choke on the latter.
+	if body := strings.TrimSpace(get("/debug/trace")); body != "[]" {
+		t.Errorf("/debug/trace empty ring = %q, want []", body)
+	}
+	tr.Record(Event{Kind: "decode", A: 1, B: 2})
+	if body := get("/debug/trace"); !strings.Contains(body, `"decode"`) {
+		t.Errorf("/debug/trace missing recorded event:\n%s", body)
+	}
+
+	if _, err := Serve("127.0.0.1:0", nil, nil); err == nil {
+		t.Error("Serve accepted a nil registry")
+	}
+}

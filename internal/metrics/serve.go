@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Server is a minimal HTTP exposition endpoint for one Registry and an
+// optional Tracer. It exists so the commands (npsend, nprecv) can offer a
+// scrape target behind a single flag without importing net/http themselves.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":9090", "127.0.0.1:0", ...) and serves:
+//
+//	/metrics       Prometheus text format (JSON with ?format=json)
+//	/metrics.json  expvar-style JSON snapshot
+//	/debug/trace   the tracer's ring buffer as JSON (404 when t is nil)
+//
+// The listener is bound synchronously — a port conflict surfaces here, not
+// later — and requests are answered on a background goroutine until Close.
+func Serve(addr string, r *Registry, t *Tracer) (*Server, error) {
+	if r == nil {
+		return nil, fmt.Errorf("metrics: Serve needs a non-nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.Handler())
+	if t != nil {
+		mux.Handle("/debug/trace", t.Handler())
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // always returns non-nil after Close
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, with any ":0" port resolved.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener; in-flight requests are abandoned.
+func (s *Server) Close() error { return s.srv.Close() }

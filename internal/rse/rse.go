@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"rmfec/internal/gf256"
+	"rmfec/internal/metrics"
 )
 
 // MaxBlock is the largest supported FEC block size n = k+h, bounded by the
@@ -99,6 +100,50 @@ type Code struct {
 	invCache map[shardBitmap]*invCacheEntry
 	tick     uint64           // LRU clock for invCache
 	scratch  []*decodeScratch // free-list of decode scratch
+
+	ins Instruments // optional live counters; zero value = disabled
+}
+
+// Instruments is the codec's optional live metric set (see
+// internal/metrics): symbol throughput on both paths and the inversion
+// cache's hit rate. Any field may be nil; increments on nil counters are
+// no-ops, so partial instrumentation is fine.
+type Instruments struct {
+	// EncodeBytes counts parity bytes produced (parity rows x shard size).
+	EncodeBytes *metrics.Counter
+	// DecodeBytes counts data bytes reconstructed (missing rows x size).
+	DecodeBytes *metrics.Counter
+	// CacheHits counts Reconstruct calls served by the inversion cache.
+	CacheHits *metrics.Counter
+	// CacheMisses counts Reconstruct calls that ran Gaussian elimination.
+	CacheMisses *metrics.Counter
+}
+
+// Instrument installs the given instrument set on the code. It is intended
+// to be called once, right after New, before the code is shared between
+// goroutines.
+func (c *Code) Instrument(ins Instruments) { c.ins = ins }
+
+// RegisterInstruments builds the codec's standard instrument set on r
+// (metric names rse_*; see DESIGN.md "Observability"). A nil registry
+// yields the zero (disabled) set.
+func RegisterInstruments(r *metrics.Registry) Instruments {
+	if r == nil {
+		return Instruments{}
+	}
+	cache := func(result string) *metrics.Counter {
+		return r.Counter("rse_inv_cache_total",
+			"decode-inversion cache lookups, by result",
+			metrics.Label{Key: "result", Value: result})
+	}
+	return Instruments{
+		EncodeBytes: r.Counter("rse_encode_bytes_total",
+			"parity bytes produced by the GF(2^8) encoder"),
+		DecodeBytes: r.Counter("rse_decode_bytes_total",
+			"data bytes reconstructed by the GF(2^8) decoder"),
+		CacheHits:   cache("hit"),
+		CacheMisses: cache("miss"),
+	}
 }
 
 // shardBitmap records which of the n <= 256 shards are present; it keys
@@ -271,6 +316,7 @@ func (c *Code) Encode(data, parity [][]byte) error {
 		parity[j] = sizeFor(parity[j], size)
 		c.encodeRow(j, data, parity[j])
 	}
+	c.ins.EncodeBytes.Add(uint64(c.h) * uint64(size))
 	return nil
 }
 
@@ -298,6 +344,7 @@ func (c *Code) EncodeBlocks(data, parity [][]byte) error {
 			blockParity[j] = sizeFor(blockParity[j], size)
 			c.encodeRow(j, blockData, blockParity[j])
 		}
+		c.ins.EncodeBytes.Add(uint64(c.h) * uint64(size))
 	}
 	return nil
 }
@@ -316,6 +363,7 @@ func (c *Code) EncodeParity(j int, data [][]byte, dst []byte) ([]byte, error) {
 	}
 	dst = sizeFor(dst, size)
 	c.encodeRow(j, data, dst)
+	c.ins.EncodeBytes.Add(uint64(size))
 	return dst, nil
 }
 
@@ -443,6 +491,11 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	}
 
 	inv, wide := c.cachedInverse(key)
+	if inv != nil {
+		c.ins.CacheHits.Inc()
+	} else {
+		c.ins.CacheMisses.Inc()
+	}
 	if inv == nil {
 		// Decode matrix: rows of G for the chosen shards.
 		a := gf256.NewMatrix(c.k, c.k)
@@ -482,6 +535,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 		}
 		shards[i] = out
 	}
+	c.ins.DecodeBytes.Add(uint64(len(missing)) * uint64(size))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rmfec/internal/loss"
+	"rmfec/internal/metrics"
 )
 
 // Network is a multicast medium: a packet sent by any node is delivered to
@@ -24,6 +25,38 @@ type Network struct {
 	dropped   uint64 // per-destination drops
 
 	tracer Tracer // optional packet-event observer
+	m      networkMetrics
+}
+
+// networkMetrics mirrors the Stats fields onto a metrics.Registry; the zero
+// value (all nil) disables instrumentation.
+type networkMetrics struct {
+	sent      *metrics.Counter
+	delivered *metrics.Counter
+	dropped   *metrics.Counter
+}
+
+// Instrument registers the network's live metrics on r — multicast
+// transmissions and per-destination delivery outcomes — and the underlying
+// scheduler's event-loop metrics. A nil registry disables instrumentation.
+func (n *Network) Instrument(r *metrics.Registry) {
+	if r == nil {
+		n.m = networkMetrics{}
+		n.sched.Instrument(nil)
+		return
+	}
+	rx := func(result string) *metrics.Counter {
+		return r.Counter("simnet_net_rx_total",
+			"per-destination arrival outcomes on the simulated medium",
+			metrics.Label{Key: "result", Value: result})
+	}
+	n.m = networkMetrics{
+		sent: r.Counter("simnet_net_tx_total",
+			"multicast transmissions on the simulated medium"),
+		delivered: rx("delivered"),
+		dropped:   rx("dropped"),
+	}
+	n.sched.Instrument(r)
 }
 
 // NewNetwork creates a network on the given scheduler with a seeded source
@@ -115,6 +148,7 @@ func (node *Node) MulticastControl(b []byte) error { return node.send(b, true) }
 func (node *Node) send(b []byte, control bool) error {
 	net := node.net
 	net.sent++
+	net.m.sent.Inc()
 	now := net.sched.Now()
 	if net.tracer != nil {
 		net.tracer.Record(TraceEvent{Time: now, Src: node.id, Dst: -1, Len: len(b), Control: control})
@@ -149,6 +183,7 @@ func (node *Node) receive(b []byte, src int, control bool) {
 		node.hasRx = true
 		if node.cfg.Loss.Lost(dt) {
 			node.net.dropped++
+			node.net.m.dropped.Inc()
 			if node.net.tracer != nil {
 				node.net.tracer.Record(TraceEvent{Time: now, Src: src, Dst: node.id,
 					Len: len(b), Control: control, Dropped: true})
@@ -157,6 +192,7 @@ func (node *Node) receive(b []byte, src int, control bool) {
 		}
 	}
 	node.net.delivered++
+	node.net.m.delivered.Inc()
 	if node.net.tracer != nil {
 		node.net.tracer.Record(TraceEvent{Time: node.net.sched.Now(), Src: src,
 			Dst: node.id, Len: len(b), Control: control})

@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"rmfec/internal/metrics"
 )
 
 // event is a scheduled callback.
@@ -60,10 +62,50 @@ type Scheduler struct {
 	// Budget guards against runaway simulations; 0 disables the check.
 	MaxEvents uint64
 	processed uint64
+
+	m schedulerMetrics
+}
+
+// schedulerMetrics is the event loop's optional instrument set; the zero
+// value (all nil) disables instrumentation.
+type schedulerMetrics struct {
+	run      *metrics.Counter
+	canceled *metrics.Counter
+	depth    *metrics.Gauge
+	depthMax *metrics.Gauge
+	horizon  *metrics.Histogram
 }
 
 // NewScheduler returns an empty scheduler at virtual time zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Instrument registers the scheduler's live metrics on r: events processed
+// and canceled, current and high-watermark queue depth, and a histogram of
+// the scheduling horizon — how far ahead of virtual now each event is
+// scheduled, i.e. the lag between scheduling an event and its firing. A
+// nil registry disables instrumentation.
+func (s *Scheduler) Instrument(r *metrics.Registry) {
+	if r == nil {
+		s.m = schedulerMetrics{}
+		return
+	}
+	ev := func(result string) *metrics.Counter {
+		return r.Counter("simnet_events_total",
+			"scheduler events popped, by outcome",
+			metrics.Label{Key: "result", Value: result})
+	}
+	s.m = schedulerMetrics{
+		run:      ev("run"),
+		canceled: ev("canceled"),
+		depth: r.Gauge("simnet_queue_depth",
+			"current scheduled-event queue depth (including canceled entries)"),
+		depthMax: r.Gauge("simnet_queue_depth_max",
+			"high watermark of the scheduled-event queue depth"),
+		horizon: r.Histogram("simnet_event_horizon_seconds",
+			"virtual seconds between scheduling an event and its firing time",
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+	}
+}
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
@@ -80,6 +122,9 @@ func (s *Scheduler) At(t time.Duration, fn func()) (cancel func()) {
 	e := &event{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.pq, e)
+	s.m.horizon.Observe((t - s.now).Seconds())
+	s.m.depth.Set(int64(len(s.pq)))
+	s.m.depthMax.SetMax(int64(len(s.pq)))
 	return func() { e.canceled = true }
 }
 
@@ -111,9 +156,12 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 			break
 		}
 		heap.Pop(&s.pq)
+		s.m.depth.Set(int64(len(s.pq)))
 		if next.canceled {
+			s.m.canceled.Inc()
 			continue
 		}
+		s.m.run.Inc()
 		s.now = next.at
 		s.processed++
 		if s.MaxEvents > 0 && s.processed > s.MaxEvents {

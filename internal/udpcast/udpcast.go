@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rmfec/internal/metrics"
 )
 
 // MaxDatagram is the largest datagram Serve will read.
@@ -37,6 +39,49 @@ type Conn struct {
 	start   time.Time
 	closed  atomic.Bool
 	wg      sync.WaitGroup
+
+	m connMetrics
+}
+
+// connMetrics is the transport's optional instrument set; the zero value
+// (all nil) disables instrumentation.
+type connMetrics struct {
+	txData    *metrics.Counter
+	txControl *metrics.Counter
+	txBytes   *metrics.Counter
+	txErrors  *metrics.Counter
+	rxPkts    *metrics.Counter
+	rxBytes   *metrics.Counter
+	drops     *metrics.Counter
+	serves    *metrics.Counter
+	closes    *metrics.Counter
+}
+
+// Instrument registers the transport's live metrics on r: datagrams and
+// bytes sent per plane, send errors, datagrams and bytes received, packets
+// dropped after Close raced the read loop, and Serve/Close lifecycle
+// transitions. Call before Serve; a nil registry disables instrumentation.
+func (c *Conn) Instrument(r *metrics.Registry) {
+	if r == nil {
+		c.m = connMetrics{}
+		return
+	}
+	tx := func(plane string) *metrics.Counter {
+		return r.Counter("udpcast_tx_packets_total",
+			"datagrams multicast, by protocol plane",
+			metrics.Label{Key: "plane", Value: plane})
+	}
+	c.m = connMetrics{
+		txData:    tx("data"),
+		txControl: tx("control"),
+		txBytes:   r.Counter("udpcast_tx_bytes_total", "datagram payload bytes multicast"),
+		txErrors:  r.Counter("udpcast_tx_errors_total", "failed multicast writes (including after Close)"),
+		rxPkts:    r.Counter("udpcast_rx_packets_total", "datagrams delivered to the engine handler"),
+		rxBytes:   r.Counter("udpcast_rx_bytes_total", "datagram payload bytes delivered to the engine handler"),
+		drops:     r.Counter("udpcast_rx_dropped_total", "datagrams read but discarded because the Conn closed"),
+		serves:    r.Counter("udpcast_serves_total", "read loops started by Serve"),
+		closes:    r.Counter("udpcast_closes_total", "effective Close calls (first call only)"),
+	}
 }
 
 // Join subscribes to a multicast group ("239.1.2.3:7654"). ifi selects the
@@ -84,16 +129,26 @@ func (c *Conn) Rand() *rand.Rand { return c.rng }
 
 // Multicast implements core.Env. It is safe to call from engine callbacks
 // (which hold the engine mutex) — it takes no locks itself.
-func (c *Conn) Multicast(b []byte) error {
+func (c *Conn) Multicast(b []byte) error { return c.send(b, c.m.txData) }
+
+// MulticastControl implements core.Env; UDP has a single plane, but the
+// two entry points are metered separately.
+func (c *Conn) MulticastControl(b []byte) error { return c.send(b, c.m.txControl) }
+
+func (c *Conn) send(b []byte, plane *metrics.Counter) error {
 	if c.closed.Load() {
+		c.m.txErrors.Inc()
 		return ErrClosed
 	}
 	_, err := c.sc.Write(b)
-	return err
+	if err != nil {
+		c.m.txErrors.Inc()
+		return err
+	}
+	plane.Inc()
+	c.m.txBytes.Add(uint64(len(b)))
+	return nil
 }
-
-// MulticastControl implements core.Env; UDP has a single plane.
-func (c *Conn) MulticastControl(b []byte) error { return c.Multicast(b) }
 
 // After implements core.Env: fn runs on the engine mutex unless canceled
 // or the Conn is closed first.
@@ -139,6 +194,7 @@ func (c *Conn) Serve(handler func(b []byte)) {
 	}
 	c.handler = handler
 	c.wg.Add(1)
+	c.m.serves.Inc()
 	c.mu.Unlock()
 	go func() {
 		defer c.wg.Done()
@@ -149,13 +205,18 @@ func (c *Conn) Serve(handler func(b []byte)) {
 				return // socket closed
 			}
 			if c.closed.Load() {
+				c.m.drops.Inc()
 				return
 			}
 			pkt := make([]byte, n)
 			copy(pkt, buf[:n])
 			c.mu.Lock()
 			if h := c.handler; h != nil && !c.closed.Load() {
+				c.m.rxPkts.Inc()
+				c.m.rxBytes.Add(uint64(n))
 				h(pkt)
+			} else {
+				c.m.drops.Inc()
 			}
 			c.mu.Unlock()
 		}
@@ -177,6 +238,7 @@ func (c *Conn) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	c.m.closes.Inc()
 	// Barrier against a concurrent Serve: once we hold mu, any Serve still
 	// in flight has either completed its wg.Add (we will wait for its
 	// goroutine) or will observe closed and register nothing.

@@ -2,6 +2,7 @@ package udpcast
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"rmfec/internal/core"
+	"rmfec/internal/metrics"
 )
 
 // groupAddr returns a test multicast group; the port is randomised to keep
@@ -147,4 +149,111 @@ func TestNPTransferOverUDP(t *testing.T) {
 			t.Skip("multicast loopback not delivering in this environment")
 		}
 	}
+}
+
+func TestConnMetricsReconcile(t *testing.T) {
+	group := groupAddr(t)
+	a := join(t, group)
+	b := join(t, group)
+	rega := metrics.NewRegistry()
+	regb := metrics.NewRegistry()
+	a.Instrument(rega)
+	b.Instrument(regb)
+
+	var rx atomic.Int64
+	var rxBytes atomic.Int64
+	b.Serve(func(p []byte) { rx.Add(1); rxBytes.Add(int64(len(p))) })
+	time.Sleep(50 * time.Millisecond)
+
+	const dataN, ctlN = 7, 3
+	payload := []byte("metered payload")
+	for i := 0; i < dataN; i++ {
+		if err := a.Multicast(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < ctlN; i++ {
+		if err := a.MulticastControl(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rx.Load() < dataN+ctlN && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rx.Load() == 0 {
+		t.Skip("multicast loopback not delivering in this environment")
+	}
+
+	// Sender-side accounting is exact: every accepted write was metered on
+	// the right plane.
+	var buf bytes.Buffer
+	if err := rega.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	wantTx := map[string]float64{
+		`udpcast_tx_packets_total{plane="data"}`:    dataN,
+		`udpcast_tx_packets_total{plane="control"}`: ctlN,
+		"udpcast_tx_bytes_total":                    float64((dataN + ctlN) * len(payload)),
+		"udpcast_tx_errors_total":                   0,
+	}
+	for series, want := range wantTx {
+		if got := snap[series]; got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+
+	// Receiver-side accounting must agree with what the handler saw (UDP
+	// may drop, so compare against the handler's own count, not dataN).
+	var bb bytes.Buffer
+	if err := regb.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	var bsnap map[string]any
+	if err := json.Unmarshal(bb.Bytes(), &bsnap); err != nil {
+		t.Fatal(err)
+	}
+	if got := bsnap["udpcast_rx_packets_total"]; got != float64(rx.Load()) {
+		t.Errorf("udpcast_rx_packets_total = %v, handler saw %d", got, rx.Load())
+	}
+	if got := bsnap["udpcast_rx_bytes_total"]; got != float64(rxBytes.Load()) {
+		t.Errorf("udpcast_rx_bytes_total = %v, handler saw %d bytes", got, rxBytes.Load())
+	}
+	if got := bsnap["udpcast_serves_total"]; got != float64(1) {
+		t.Errorf("udpcast_serves_total = %v, want 1", got)
+	}
+
+	// Close is metered once, however many times it is called, and a write
+	// after Close is metered as an error.
+	b.Close()
+	b.Close()
+	if got := bGaugeValue(t, regb, "udpcast_closes_total"); got != 1 {
+		t.Errorf("udpcast_closes_total = %d after double Close, want 1", got)
+	}
+	a.Close()
+	if err := a.Multicast(payload); err == nil {
+		t.Error("Multicast after Close succeeded")
+	}
+	if got := bGaugeValue(t, rega, "udpcast_tx_errors_total"); got != 1 {
+		t.Errorf("udpcast_tx_errors_total = %d after write-on-closed, want 1", got)
+	}
+}
+
+// bGaugeValue reads one numeric series back through the JSON exposition.
+func bGaugeValue(t *testing.T, reg *metrics.Registry, series string) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := snap[series].(float64)
+	return int(f)
 }

@@ -6,7 +6,8 @@
 #   2. go vet           the stock analyzer suite
 #   3. go build         everything compiles
 #   4. rmlint           project invariants (env-discipline, no-goroutines,
-#                       float-eq, mutex-discipline) — see internal/lint
+#                       float-eq, mutex-discipline, doc-comment) — see
+#                       internal/lint
 #   5. go test          full test suite
 #   6. bench smoke      kernel benchmarks at one iteration, so the
 #                       BenchmarkKernels suites compile and run
@@ -19,6 +20,12 @@
 #                       every simulated figure (the mcrun determinism
 #                       contract, end to end; fig 1 measures this
 #                       machine's coder throughput, so it is excluded)
+#   9. metrics smoke    start npsend -metrics-addr, scrape /metrics, and
+#                       diff the exposed series set against
+#                       scripts/metrics_schema.txt — a renamed or dropped
+#                       series breaks dashboards silently, so the schema
+#                       is pinned (skipped when multicast or curl is
+#                       unavailable, like the udpcast tests)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -57,6 +64,49 @@ if ! cmp -s "$tmp/p1.tsv" "$tmp/p8.tsv"; then
     echo "figures output differs between -parallel 1 and -parallel 8" >&2
     diff "$tmp/p1.tsv" "$tmp/p8.tsv" >&2 || true
     exit 1
+fi
+
+echo '== metrics endpoint smoke (npsend -metrics-addr vs scripts/metrics_schema.txt)'
+if ! command -v curl >/dev/null 2>&1; then
+    echo 'metrics smoke: curl not available, skipping'
+else
+    go build -o "$tmp/npsend" ./cmd/npsend
+    head -c 100000 /dev/urandom > "$tmp/payload.bin"
+    "$tmp/npsend" -file "$tmp/payload.bin" -metrics-addr 127.0.0.1:0 -linger 8s \
+        > "$tmp/npsend.out" 2>&1 &
+    np_pid=$!
+    addr=''
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's#npsend: metrics on http://\([^/]*\)/metrics#\1#p' "$tmp/npsend.out")
+        [ -n "$addr" ] && break
+        if ! kill -0 "$np_pid" 2>/dev/null; then break; fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo 'metrics smoke: npsend did not start (multicast unavailable?), skipping'
+        cat "$tmp/npsend.out"
+    else
+        curl -sf "http://$addr/metrics" | grep -v '^#' | awk '{print $1}' | sort \
+            > "$tmp/schema.txt"
+        if ! cmp -s "$tmp/schema.txt" scripts/metrics_schema.txt; then
+            echo 'metrics series set drifted from scripts/metrics_schema.txt:' >&2
+            diff scripts/metrics_schema.txt "$tmp/schema.txt" >&2 || true
+            kill "$np_pid" 2>/dev/null || true
+            exit 1
+        fi
+        # Liveness: the sender must have transmitted by now.
+        datatx=$(curl -sf "http://$addr/metrics" | awk '$1 == "np_sender_tx_packets_total{kind=\"data\"}" {print $2}')
+        if [ "${datatx:-0}" -eq 0 ]; then
+            echo "metrics smoke: np_sender data tx = ${datatx:-unset}, expected > 0" >&2
+            kill "$np_pid" 2>/dev/null || true
+            exit 1
+        fi
+        # JSON and trace endpoints answer too.
+        curl -sf "http://$addr/metrics.json" > /dev/null
+        curl -sf "http://$addr/debug/trace" > /dev/null
+    fi
+    kill "$np_pid" 2>/dev/null || true
+    wait "$np_pid" 2>/dev/null || true
 fi
 
 echo 'check.sh: all tiers passed'
