@@ -17,12 +17,13 @@ lint:
 
 # Race-detector pass over the packages that own or drive concurrency.
 race:
-	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/
+	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/
 
 check:
 	sh scripts/check.sh
 
-# Perf trajectory snapshot (kernel + codec + sim rates -> BENCH_PR3.json).
+# Perf trajectory snapshot (kernel + codec + sim + NP loopback rates ->
+# BENCH_PR5.json).
 bench:
 	sh scripts/bench.sh
 

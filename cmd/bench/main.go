@@ -1,14 +1,18 @@
 // Command bench runs the repository's performance gate and emits a
-// machine-readable snapshot (BENCH_PR3.json) for the perf trajectory:
+// machine-readable snapshot (BENCH_PR5.json) for the perf trajectory:
 // GF(2^8) kernel throughput against the retained scalar reference,
 // encode/decode packet rates of the RSE coder at the paper's k=7,h=7 and
-// k=20,h=5 operating points, and — new in PR 3 — Monte-Carlo engine
-// sample rates (sparse pending-set engines + sparse Bernoulli draws vs
-// the retained pre-PR dense engines) at R = 10^4 and 10^6, p = 0.01,
-// plus the end-to-end `figures -fig all -quick` wall-clock.
+// k=20,h=5 operating points, Monte-Carlo engine sample rates (sparse
+// engines vs the retained pre-PR dense engines) at R = 10^4 and 10^6,
+// the end-to-end `figures -fig all -quick` wall-clock, and — new in
+// PR 5 — the NP loopback tier (np.go): sender packets/s through an
+// in-process loopback Env, pipelined (encode-ahead pool + pooled frames +
+// MulticastBatch) against the retained pre-PR serial transmit path.
 //
-//	go run ./cmd/bench                  # writes BENCH_PR3.json
-//	go run ./cmd/bench -out - -runs 3   # quick run to stdout
+//	go run ./cmd/bench                    # writes BENCH_PR5.json
+//	go run ./cmd/bench -out - -runs 3     # quick run to stdout
+//	go run ./cmd/bench -np-only -runs 1   # NP loopback smoke (check.sh)
+//	go run ./cmd/bench -transcript -depth 0   # sender transcript hash
 //
 // Each metric is the median of -runs testing.Benchmark passes, because
 // shared hosts are noisy and a single pass can swing 2x in either
@@ -71,11 +75,12 @@ type snapshot struct {
 	GOARCH              string       `json:"goarch"`
 	ShardBytes          int          `json:"shard_bytes"`
 	Runs                int          `json:"runs"`
-	Kernels             kernelStats  `json:"kernels"`
-	Codec               []codecStats `json:"codec"`
-	Sim                 []simStats   `json:"sim"`
-	FiguresQuickSeconds float64      `json:"figures_quick_seconds"`
-	FiguresQuickSamples int          `json:"figures_quick_samples"`
+	Kernels             kernelStats  `json:"kernels,omitempty"`
+	Codec               []codecStats `json:"codec,omitempty"`
+	Sim                 []simStats   `json:"sim,omitempty"`
+	NP                  []npStats    `json:"np"`
+	FiguresQuickSeconds float64      `json:"figures_quick_seconds,omitempty"`
+	FiguresQuickSamples int          `json:"figures_quick_samples,omitempty"`
 }
 
 // medianRate runs fn under testing.Benchmark `runs` times and returns the
@@ -305,11 +310,20 @@ func figuresQuickBench() (seconds float64, samples int) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR3.json", "output path, or - for stdout")
-		runs    = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
-		showMet = flag.Bool("metrics", false, "print an end-of-run metrics snapshot (Prometheus text) to stderr")
+		out        = flag.String("out", "BENCH_PR5.json", "output path, or - for stdout")
+		runs       = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
+		showMet    = flag.Bool("metrics", false, "print an end-of-run metrics snapshot (Prometheus text) to stderr")
+		npGroups   = flag.Int("np-groups", 600, "transmission groups per NP loopback drain")
+		npOnly     = flag.Bool("np-only", false, "run only the NP loopback tier (check.sh smoke)")
+		transcript = flag.Bool("transcript", false, "print the sender transcript hash of a fixed transfer and exit")
+		depth      = flag.Int("depth", 0, "pipeline depth for -transcript (0 = serial reference path)")
 	)
 	flag.Parse()
+
+	if *transcript {
+		fmt.Println(transcriptHash(*depth))
+		return
+	}
 
 	// A nil registry (flag off) turns the codec instruments into no-ops,
 	// which also keeps the measured hot path identical to production use.
@@ -319,7 +333,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		PR:         3,
+		PR:         5,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -327,15 +341,20 @@ func main() {
 		ShardBytes: shardBytes,
 		Runs:       *runs,
 	}
-	fmt.Fprintln(os.Stderr, "bench: measuring GF(2^8) kernels...")
-	snap.Kernels = kernelBench(*runs)
-	for _, p := range []struct{ k, h int }{{7, 7}, {20, 5}} {
-		fmt.Fprintf(os.Stderr, "bench: measuring rse codec k=%d h=%d...\n", p.k, p.h)
-		snap.Codec = append(snap.Codec, codecBench(*runs, p.k, p.h, reg))
+	if !*npOnly {
+		fmt.Fprintln(os.Stderr, "bench: measuring GF(2^8) kernels...")
+		snap.Kernels = kernelBench(*runs)
+		for _, p := range []struct{ k, h int }{{7, 7}, {20, 5}} {
+			fmt.Fprintf(os.Stderr, "bench: measuring rse codec k=%d h=%d...\n", p.k, p.h)
+			snap.Codec = append(snap.Codec, codecBench(*runs, p.k, p.h, reg))
+		}
+		snap.Sim = simBench(*runs)
 	}
-	snap.Sim = simBench(*runs)
-	fmt.Fprintln(os.Stderr, "bench: timing figures -fig all -quick...")
-	snap.FiguresQuickSeconds, snap.FiguresQuickSamples = figuresQuickBench()
+	snap.NP = npBench(*runs, *npGroups)
+	if !*npOnly {
+		fmt.Fprintln(os.Stderr, "bench: timing figures -fig all -quick...")
+		snap.FiguresQuickSeconds, snap.FiguresQuickSamples = figuresQuickBench()
+	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -358,8 +377,12 @@ func main() {
 			simSummary += fmt.Sprintf(", %s@1e6 %.0fx", s.Engine, s.Speedup)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.2fx scalar, xor %.2fx%s, figures-quick %.1fs)\n",
-		*out, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup, simSummary, snap.FiguresQuickSeconds)
+	npSummary := ""
+	for _, n := range snap.NP {
+		npSummary += fmt.Sprintf(", np/%s %.2fx", n.Scenario, n.Speedup)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.2fx scalar, xor %.2fx%s%s, figures-quick %.1fs)\n",
+		*out, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup, simSummary, npSummary, snap.FiguresQuickSeconds)
 	printMetrics(reg)
 }
 

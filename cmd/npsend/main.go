@@ -31,6 +31,9 @@ func main() {
 		a        = flag.Int("proactive", 0, "parities sent with each group before any NAK")
 		carousel = flag.Bool("carousel", false, "integrated FEC 1: stream proactive parities, no polls")
 		adaptive = flag.Bool("adaptive", false, "learn the redundancy level from NAK feedback")
+		depth    = flag.Int("depth", 0, "transmit pipeline depth in TGs (0 = serial reference path)")
+		workers  = flag.Int("workers", 0, "encode-ahead worker goroutines (0 = default when -depth > 0)")
+		batch    = flag.Int("batch", 0, "max packets per batched send (0 = default when -depth > 0)")
 		maddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/trace on this address (off when empty)")
 	)
 	flag.Parse()
@@ -60,6 +63,7 @@ func main() {
 		Proactive: *a,
 		Carousel:  *carousel,
 		Adaptive:  *adaptive,
+		Pipeline:  core.PipelineConfig{Depth: *depth, Workers: *workers, Batch: *batch},
 	}
 	if *maddr != "" {
 		cfg.Metrics = metrics.NewRegistry()

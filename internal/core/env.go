@@ -28,6 +28,11 @@ import (
 )
 
 // Env abstracts time, randomness and the multicast medium.
+//
+// Buffer ownership: the engines recycle their wire frames through a
+// free-list, so b is valid only UNTIL the send call returns. A transport
+// that defers delivery (a simulator scheduling an arrival, a queueing
+// socket) must copy b before returning; it must never retain the slice.
 type Env interface {
 	// Now returns the current time (virtual or wall-clock).
 	Now() time.Duration
@@ -42,6 +47,37 @@ type Env interface {
 	// Rand returns the engine's private randomness (NAK slot jitter).
 	Rand() *rand.Rand
 }
+
+// BatchEnv is an optional Env extension. A transport that can amortize
+// per-send overhead across several datagrams implements MulticastBatch;
+// the pipelined sender then hands it up to Pipeline.Batch consecutive
+// data-plane frames per pacing tick instead of one. The frame ownership
+// rule of Env.Multicast applies to every element: nothing may be retained
+// after the call returns. Control packets never travel in batches, so
+// per-plane accounting stays exact.
+type BatchEnv interface {
+	MulticastBatch(frames [][]byte) error
+}
+
+// PipelineConfig tunes the sender's pipelined transmit path. The zero
+// value disables it entirely: Depth = 0 selects the serial reference path,
+// which is guaranteed to produce a byte-identical wire transcript to the
+// pre-pipeline sender (pinned by TestSerialTranscriptGolden).
+type PipelineConfig struct {
+	// Depth is the encode-ahead window in transmission groups: while TG i
+	// is on the wire, parities of TGs up to i+Depth are being computed on
+	// the worker pool. 0 disables both the worker pool and batching.
+	Depth int
+	// Workers is the encode worker-pool size; defaults to 2 when Depth > 0.
+	Workers int
+	// Batch caps how many consecutive data-plane frames are handed to the
+	// transport per pacing tick (via BatchEnv when available). Defaults to
+	// 32 when Depth > 0; 1 keeps per-packet pacing with the pipeline on.
+	Batch int
+}
+
+// enabled reports whether any pipelined behaviour is configured.
+func (p PipelineConfig) enabled() bool { return p.Depth > 0 }
 
 // Config parameterises a transfer session. The zero value is not valid;
 // fill in at least K and ShardSize, then call Validate (or rely on the
@@ -78,6 +114,10 @@ type Config struct {
 	// a bound a hostile FIN could make a receiver allocate state for 2^32
 	// groups. Default 1<<20.
 	MaxGroups int
+	// Pipeline configures the sender's pipelined zero-alloc transmit path:
+	// parallel encode-ahead and batched transmission. The zero value keeps
+	// the serial reference behaviour bit-for-bit.
+	Pipeline PipelineConfig
 	// MaxNakSlots caps the slot index of the paper's NAK schedule
 	// [(s-l)Ts, (s-l+1)Ts]. The formula assumes small rounds; with large
 	// transmission groups an uncapped slot would delay low-deficit
@@ -127,6 +167,14 @@ func (c *Config) Defaults() {
 	if c.MaxNakSlots == 0 {
 		c.MaxNakSlots = 16
 	}
+	if c.Pipeline.Depth > 0 {
+		if c.Pipeline.Workers == 0 {
+			c.Pipeline.Workers = 2
+		}
+		if c.Pipeline.Batch == 0 {
+			c.Pipeline.Batch = 32
+		}
+	}
 }
 
 // Validate reports configuration errors.
@@ -154,6 +202,17 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxNakSlots < 1 {
 		return fmt.Errorf("core: MaxNakSlots = %d", c.MaxNakSlots)
+	}
+	if c.Pipeline.Depth < 0 || c.Pipeline.Depth > 1<<16 {
+		return fmt.Errorf("core: Pipeline.Depth = %d, need 0..65536", c.Pipeline.Depth)
+	}
+	if c.Pipeline.Depth > 0 {
+		if c.Pipeline.Workers < 1 || c.Pipeline.Workers > 256 {
+			return fmt.Errorf("core: Pipeline.Workers = %d, need 1..256", c.Pipeline.Workers)
+		}
+		if c.Pipeline.Batch < 1 || c.Pipeline.Batch > 4096 {
+			return fmt.Errorf("core: Pipeline.Batch = %d, need 1..4096", c.Pipeline.Batch)
+		}
 	}
 	return nil
 }

@@ -43,7 +43,19 @@ type senderMetrics struct {
 	groups        *metrics.Counter
 	queueDepth    *metrics.Gauge
 	tgTx          *metrics.Histogram
+
+	// Pipelined-path instruments (np_pipeline_*). Registered even for a
+	// serial sender so the exposition schema does not depend on the
+	// Pipeline knob; they simply stay zero when Depth = 0.
+	encHits   *metrics.Counter   // encode-ahead window was deep enough
+	encMisses *metrics.Counter   // engine had to block on the encode pool
+	encQueue  *metrics.Gauge     // encode jobs submitted but not yet collected
+	batchPkts *metrics.Histogram // data-plane frames per transmitted batch
 }
+
+// batchBuckets bounds the np_pipeline_batch_packets histogram: powers of
+// two through the default Pipeline.Batch of 32 and one bucket beyond.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
 // newSenderMetrics registers the sender instrument set on r; a nil r
 // yields the all-nil (disabled) set. Bucket bounds of the per-TG
@@ -87,7 +99,21 @@ func newSenderMetrics(r *metrics.Registry, k int) senderMetrics {
 		tgTx: r.Histogram("np_sender_tg_transmissions",
 			"data+parity packets transmitted per TG (observed at Close); mean/k is the live E[M]",
 			tgBounds),
+		encHits:   encAhead(r, "hit"),
+		encMisses: encAhead(r, "miss"),
+		encQueue: r.Gauge("np_pipeline_queue_depth",
+			"encode-ahead jobs submitted to the worker pool but not yet collected"),
+		batchPkts: r.Histogram("np_pipeline_batch_packets",
+			"data-plane frames handed to the transport per batched transmission",
+			batchBuckets),
 	}
+}
+
+// encAhead registers one result arm of the encode-ahead counter.
+func encAhead(r *metrics.Registry, result string) *metrics.Counter {
+	return r.Counter("np_pipeline_encode_ahead_total",
+		"encode-ahead collections by outcome: hit = parities ready when needed, miss = engine blocked on the pool",
+		metrics.Label{Key: "result", Value: result})
 }
 
 // receiverMetrics is the NP receiver's live instrument set; the zero value

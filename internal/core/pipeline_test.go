@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rmfec/internal/loss"
+	"rmfec/internal/packet"
+)
+
+// sinkEnv is the cheapest possible Env: it discards frames, keeps exactly
+// one pending timer (the sender's pump keeps at most one outstanding), and
+// lets the test fire it manually. Every method is allocation-free, so
+// AllocsPerRun measurements over engine steps see only the engine.
+type sinkEnv struct {
+	now     time.Duration
+	pending func()
+	rng     *rand.Rand
+	batches int
+}
+
+func newSinkEnv(seed int64) *sinkEnv { return &sinkEnv{rng: rand.New(rand.NewSource(seed))} }
+
+func (e *sinkEnv) Now() time.Duration              { return e.now }
+func (e *sinkEnv) Rand() *rand.Rand                { return e.rng }
+func (e *sinkEnv) Multicast(b []byte) error        { return nil }
+func (e *sinkEnv) MulticastControl(b []byte) error { return nil }
+func (e *sinkEnv) MulticastBatch(f [][]byte) error { e.batches++; return nil }
+func (e *sinkEnv) After(d time.Duration, fn func()) (cancel func()) {
+	e.now += d
+	e.pending = fn
+	return nil
+}
+
+// step fires the pending timer; returns false when the engine went idle.
+func (e *sinkEnv) step() bool {
+	fn := e.pending
+	if fn == nil {
+		return false
+	}
+	e.pending = nil
+	fn()
+	return true
+}
+
+// TestSenderSteadyStateZeroAlloc pins the transmit path's allocation
+// behaviour at the ISSUE's benchmark operating point (k=20, h=5, 1 KiB
+// shards, proactive 0): once the frame pool and queue are warm, pumping
+// packets allocates nothing — on the serial reference path and on the
+// batched pipeline path alike.
+func TestSenderSteadyStateZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pl   PipelineConfig
+	}{
+		{"serial", PipelineConfig{}},
+		{"batched", PipelineConfig{Depth: 8, Workers: 2, Batch: 32}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := newSinkEnv(1)
+			cfg := Config{Session: 3, K: 20, MaxParity: 5, Proactive: 0,
+				ShardSize: 1024, Delta: time.Millisecond, Pipeline: tc.pl}
+			s, err := NewSender(env, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			// 400 TGs: enough runway that warmup plus the measured steps
+			// never reach the FIN tail.
+			if err := s.Send(make([]byte, 400*20*1024)); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				if !env.step() {
+					t.Fatal("sender went idle during warmup")
+				}
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if !env.step() {
+					t.Fatal("sender went idle during measurement")
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s steady-state pump: %.1f allocs/op, want 0", tc.name, allocs)
+			}
+			if tc.pl.Batch > 1 && env.batches == 0 {
+				t.Error("batched sender never used MulticastBatch")
+			}
+		})
+	}
+}
+
+// TestReceiverSteadyStateZeroAlloc pins the streaming receiver's packet
+// path: decode-in-place arrival, pooled shard copies and per-group release
+// (OnComplete unset) make processing a whole group allocation-free — both
+// when all k data shards arrive and when a fixed loss pattern forces a
+// Reed-Solomon reconstruction every group (the decode-inversion cache and
+// the codec's scratch free-list keep even that path clean).
+func TestReceiverSteadyStateZeroAlloc(t *testing.T) {
+	const (
+		k     = 8
+		shard = 256
+		total = 32768 // presizes the release bitset well past the run
+	)
+	for _, tc := range []struct {
+		name   string
+		decode bool
+	}{
+		{"all-data", false},
+		{"reconstruct", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := newSinkEnv(2)
+			cfg := Config{Session: 5, K: k, MaxParity: 2, ShardSize: shard,
+				Delta: time.Millisecond}
+			r, err := NewReceiver(env, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			groups := 0
+			r.OnGroup = func(g uint32, shards [][]byte) { groups++ }
+
+			frame := make([]byte, packet.HeaderLen+shard)
+			payload := make([]byte, shard)
+			next := uint32(0)
+			feedGroup := func() {
+				g := next
+				next++
+				for i := 0; i < k; i++ {
+					seq, typ := uint16(i), packet.TypeData
+					if tc.decode && i == 0 {
+						// Fixed pattern: data shard 0 lost, parity 0 takes
+						// its place — same inversion-cache key every group.
+						seq, typ = uint16(k), packet.TypeParity
+					}
+					p := packet.Packet{Type: typ, Session: 5, Group: g,
+						Seq: seq, K: k, Total: total, Payload: payload}
+					if _, err := p.MarshalTo(frame); err != nil {
+						t.Fatal(err)
+					}
+					r.HandlePacket(frame)
+				}
+			}
+			for i := 0; i < 50; i++ {
+				feedGroup()
+			}
+			if groups != 50 {
+				t.Fatalf("warmup delivered %d groups, want 50", groups)
+			}
+			allocs := testing.AllocsPerRun(200, feedGroup)
+			if allocs != 0 {
+				t.Errorf("%s steady-state group: %.1f allocs/op, want 0", tc.name, allocs)
+			}
+			if tc.decode && r.Stats().Decodes < 200 {
+				t.Errorf("only %d decodes; the reconstruct path was not exercised", r.Stats().Decodes)
+			}
+			if len(r.groups) != 0 {
+				t.Errorf("%d groups still resident after streaming release", len(r.groups))
+			}
+		})
+	}
+}
+
+// batchLoopEnv extends the deterministic loopEnv with core.BatchEnv so
+// transcript tests cover the MulticastBatch ordering too.
+type batchLoopEnv struct{ *loopEnv }
+
+func (e batchLoopEnv) MulticastBatch(frames [][]byte) error {
+	for _, f := range frames {
+		if err := e.Multicast(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestPipelinedTranscriptMatchesSerial is the PR's equivalence gate: under
+// zero loss, a pipelined sender (any depth, batched or not, BatchEnv or
+// per-frame fallback) must put byte-for-byte the same frame sequence on
+// the wire as the serial reference path — encode-ahead computes the same
+// generator rows the serial path would, and batching changes pacing, not
+// content or order.
+func TestPipelinedTranscriptMatchesSerial(t *testing.T) {
+	for _, base := range []struct {
+		name string
+		cfg  Config
+		msg  int
+	}{
+		{"small", transcriptCfgSmall(), 100},
+		{"wide", transcriptCfgWide(), 10000},
+	} {
+		serial := senderTranscript(t, base.cfg, base.msg)
+
+		pipelined := base.cfg
+		pipelined.Pipeline = PipelineConfig{Depth: 8, Workers: 3, Batch: 1}
+		if got := senderTranscript(t, pipelined, base.msg); got != serial {
+			t.Errorf("%s: depth=8 batch=1 transcript differs from serial:\n got %s\nwant %s",
+				base.name, got, serial)
+		}
+
+		batched := base.cfg
+		batched.Pipeline = PipelineConfig{Depth: 4, Workers: 2, Batch: 16}
+		if got := senderTranscript(t, batched, base.msg); got != serial {
+			t.Errorf("%s: batched fallback transcript differs from serial:\n got %s\nwant %s",
+				base.name, got, serial)
+		}
+
+		// Same batched config through a BatchEnv-capable transport.
+		env := newLoopEnv(1)
+		s, err := NewSender(batchLoopEnv{env}, batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Send(transcriptMsg(base.msg)); err != nil {
+			t.Fatal(err)
+		}
+		env.run()
+		s.Close()
+		if got := env.hash.sum(); got != serial {
+			t.Errorf("%s: BatchEnv transcript differs from serial:\n got %s\nwant %s",
+				base.name, got, serial)
+		}
+	}
+}
+
+// TestPipelinedLossyTransfer runs the full pipelined stack — encode-ahead
+// pool, batching, frame recycling — over simnet with per-receiver loss and
+// checks correctness is untouched: every receiver gets the exact message.
+// With `make race` covering this package, it doubles as the race proof for
+// the engine/worker-pool seam.
+func TestPipelinedLossyTransfer(t *testing.T) {
+	cfg := Config{Session: 7, K: 8, MaxParity: 16, Proactive: 2, ShardSize: 64,
+		Pipeline: PipelineConfig{Depth: 4, Workers: 2, Batch: 8}}
+	h := newHarness(t, harnessOpts{
+		r:   5,
+		cfg: cfg,
+		mkLoss: func(rng *rand.Rand) loss.Process {
+			return loss.NewBernoulli(0.05, rng)
+		},
+		seed: 41,
+	})
+	msg := testMessage(40*8*64+17, 42)
+	h.run(t, msg)
+	h.checkDelivered(t, msg)
+	ps := h.sender.PipelineStats()
+	if ps.EncodeHits+ps.EncodeMisses != uint64(h.sender.Groups()) {
+		t.Errorf("encode-ahead collected %d+%d groups, sender streamed %d",
+			ps.EncodeHits, ps.EncodeMisses, h.sender.Groups())
+	}
+	if ps.Batches == 0 || ps.BatchedPkts == 0 {
+		t.Error("pipelined sender recorded no batched transmissions")
+	}
+	h.sender.Close()
+}

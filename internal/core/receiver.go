@@ -40,6 +40,13 @@ func (st ReceiverStats) MeanLatency() time.Duration {
 // carrying its remaining deficit, reconstructs each group from any k
 // shards, and delivers the reassembled message through the OnComplete
 // callback.
+//
+// The receive path is allocation-free in the steady state: packets are
+// decoded in place (packet.DecodeInto), shard payloads are copied into
+// pooled buffers, and — in streaming mode, see OnGroup — each group's
+// buffers and bookkeeping return to their free-lists as soon as the group
+// is delivered, so an arbitrarily long transfer runs in memory
+// proportional to the number of groups in flight.
 type Receiver struct {
 	env  Env
 	cfg  Config
@@ -53,7 +60,17 @@ type Receiver struct {
 	complete bool
 	closed   bool
 
+	zeroFill   bool       // codec rebuilds into zero-len pooled buffers (GF(2^8))
+	shardPool  bufPool    // recycled shard buffers (ShardSize each)
+	ctrlFrames bufPool    // recycled NAK wire frames
+	freeGroups []*rxGroup // recycled group bookkeeping (streaming mode)
+	doneBits   []uint64   // groups released after streaming delivery
+
 	// OnComplete is invoked exactly once with the reassembled message.
+	// Leaving it nil selects STREAMING mode: each group's buffers are
+	// recycled right after its OnGroup delivery (set callbacks before the
+	// first packet arrives), and completion is still observable through
+	// Complete and the delivery trace/metrics.
 	OnComplete func(msg []byte)
 	// OnGroup, if set, is invoked for every group as it becomes decodable,
 	// with the group index and its k data shards (valid until return).
@@ -86,13 +103,20 @@ func NewReceiver(env Env, cfg Config) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Only the GF(2^8) codec honours the zero-length-with-capacity
+	// Reconstruct contract; GF(2^16) groups mark losses with nil and let
+	// the codec allocate.
+	_, zeroFill := code.(gf8Codec)
 	return &Receiver{
-		env:     env,
-		cfg:     cfg,
-		code:    code,
-		groups:  make(map[uint32]*rxGroup),
-		totalTG: -1,
-		m:       newReceiverMetrics(cfg.Metrics),
+		env:        env,
+		cfg:        cfg,
+		code:       code,
+		zeroFill:   zeroFill,
+		groups:     make(map[uint32]*rxGroup),
+		totalTG:    -1,
+		shardPool:  bufPool{minCap: cfg.ShardSize},
+		ctrlFrames: bufPool{minCap: packet.HeaderLen},
+		m:          newReceiverMetrics(cfg.Metrics),
 	}, nil
 }
 
@@ -112,39 +136,88 @@ func (r *Receiver) Close() {
 	}
 }
 
+// released reports whether a group was delivered and its state recycled
+// (streaming mode). Such a group is done; only the bit remembers it.
+func (r *Receiver) released(idx uint32) bool {
+	w := int(idx >> 6)
+	return w < len(r.doneBits) && r.doneBits[w]&(1<<(idx&63)) != 0
+}
+
+func (r *Receiver) setReleased(idx uint32) {
+	w := int(idx >> 6)
+	for len(r.doneBits) <= w {
+		r.doneBits = append(r.doneBits, 0)
+	}
+	r.doneBits[w] |= 1 << (idx & 63)
+}
+
 func (r *Receiver) group(idx uint32) *rxGroup {
 	g, ok := r.groups[idx]
 	if !ok {
-		g = &rxGroup{shards: make([][]byte, r.cfg.K+r.cfg.MaxParity)}
+		if n := len(r.freeGroups); n > 0 {
+			g = r.freeGroups[n-1]
+			r.freeGroups[n-1] = nil
+			r.freeGroups = r.freeGroups[:n-1]
+			*g = rxGroup{shards: g.shards} // shards were nil'd at release
+		} else {
+			g = &rxGroup{shards: make([][]byte, r.cfg.K+r.cfg.MaxParity)}
+		}
 		r.groups[idx] = g
 	}
 	return g
 }
 
-// HandlePacket feeds an incoming wire packet to the engine.
+// releaseGroup recycles a delivered group's buffers and bookkeeping and
+// marks the index done in the bitset, so later packets for it are ignored
+// without resurrecting state.
+func (r *Receiver) releaseGroup(idx uint32, g *rxGroup) {
+	r.setReleased(idx)
+	for i, s := range g.shards {
+		if s != nil {
+			r.shardPool.put(s)
+			g.shards[i] = nil
+		}
+	}
+	if g.nakCancel != nil {
+		g.nakCancel()
+		g.nakCancel = nil
+	}
+	delete(r.groups, idx)
+	r.freeGroups = append(r.freeGroups, g)
+}
+
+// HandlePacket feeds an incoming wire packet to the engine. The buffer is
+// only read during the call; the engine keeps copies of what it retains,
+// so transports may hand the same read buffer to every invocation.
 func (r *Receiver) HandlePacket(wire []byte) {
 	if r.closed || r.complete {
 		return
 	}
-	pkt, err := packet.Decode(wire)
-	if err != nil || pkt.Session != r.cfg.Session {
+	var pkt packet.Packet
+	if err := packet.DecodeInto(&pkt, wire); err != nil || pkt.Session != r.cfg.Session {
 		return
 	}
 	switch pkt.Type {
 	case packet.TypeData, packet.TypeParity:
-		r.onShard(pkt)
+		r.onShard(&pkt)
 	case packet.TypePoll:
-		r.onPoll(pkt)
+		r.onPoll(&pkt)
 	case packet.TypeNak:
-		r.onNak(pkt)
+		r.onNak(&pkt)
 	case packet.TypeFin:
-		r.onFin(pkt)
+		r.onFin(&pkt)
 	}
 }
 
 func (r *Receiver) noteTotal(total uint32) {
 	if total > 0 && r.totalTG < 0 && int64(total) <= int64(r.cfg.MaxGroups) {
 		r.totalTG = int(total)
+		// Pre-size the release bitset so the steady state never grows it.
+		if need := (r.totalTG + 63) / 64; len(r.doneBits) < need {
+			bits := make([]uint64, need)
+			copy(bits, r.doneBits)
+			r.doneBits = bits
+		}
 	}
 }
 
@@ -156,6 +229,9 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 		return // beyond any transfer this receiver would accept
 	}
 	r.noteTotal(pkt.Total)
+	if r.released(pkt.Group) {
+		return
+	}
 	g := r.group(pkt.Group)
 	if g.done {
 		return
@@ -169,7 +245,10 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 		r.m.dupRx.Inc()
 		return
 	}
-	g.shards[idx] = pkt.Payload // Decode already copied
+	// pkt.Payload aliases the transport's read buffer; keep a pooled copy.
+	shard := r.shardPool.get(r.cfg.ShardSize)
+	copy(shard, pkt.Payload)
+	g.shards[idx] = shard
 	g.have++
 	if !g.sawShard {
 		g.sawShard = true
@@ -197,8 +276,26 @@ func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
 		}
 	}
 	if needsDecode {
+		if r.zeroFill {
+			// Hand the codec zero-length pooled buffers for the missing
+			// data slots; Reconstruct rebuilds into them in place, so the
+			// decode path reuses the same working set as plain reception.
+			for i := 0; i < r.cfg.K; i++ {
+				if g.shards[i] == nil {
+					g.shards[i] = r.shardPool.get(r.cfg.ShardSize)[:0]
+				}
+			}
+		}
 		if err := r.code.Reconstruct(g.shards); err != nil {
-			return // cannot happen with have >= k; stay incomplete
+			// Cannot happen with have >= k; undo the fills and stay
+			// incomplete.
+			for i := 0; i < r.cfg.K; i++ {
+				if s := g.shards[i]; s != nil && len(s) == 0 {
+					r.shardPool.put(s[:cap(s)])
+					g.shards[i] = nil
+				}
+			}
+			return
 		}
 		r.stats.Decodes++
 		r.m.decodes.Inc()
@@ -230,6 +327,11 @@ func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
 	if r.OnGroup != nil {
 		r.OnGroup(idx, g.shards[:r.cfg.K])
 	}
+	if r.OnComplete == nil {
+		// Streaming mode: the group's data left through OnGroup (or the
+		// consumer opted out of data entirely); recycle everything now.
+		r.releaseGroup(idx, g)
+	}
 }
 
 // onPoll implements the paper's feedback rule: compute the deficit l and
@@ -242,6 +344,9 @@ func (r *Receiver) onPoll(pkt *packet.Packet) {
 		return
 	}
 	r.noteTotal(pkt.Total)
+	if r.released(pkt.Group) {
+		return
+	}
 	g := r.group(pkt.Group)
 	g.heardNak = 0 // new suppression round
 	r.armNak(pkt.Group, g, int(pkt.Count))
@@ -301,7 +406,11 @@ func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
 			K:       uint16(r.cfg.K),
 			Count:   uint16(l),
 		}
-		r.env.MulticastControl(nak.MustEncode()) //nolint:errcheck // best-effort
+		frame := r.ctrlFrames.get(nak.EncodedLen())
+		if _, err := nak.MarshalTo(frame); err == nil {
+			r.env.MulticastControl(frame) //nolint:errcheck // best-effort
+		}
+		r.ctrlFrames.put(frame)
 		r.stats.NakTx++
 		r.m.nakSent.Inc()
 		r.cfg.Trace.Record(metrics.Event{At: r.env.Now(), Kind: TraceNakTx, A: uint64(idx), B: uint64(l)})
@@ -338,6 +447,9 @@ func (r *Receiver) onFin(pkt *packet.Packet) {
 	// The FIN doubles as a poll for every unfinished group, including
 	// groups we never saw a single packet of.
 	for i := 0; i < r.totalTG; i++ {
+		if r.released(uint32(i)) {
+			continue
+		}
 		g := r.group(uint32(i))
 		if !g.done && !g.nakArmed {
 			r.armNak(uint32(i), g, r.cfg.K)
@@ -348,6 +460,16 @@ func (r *Receiver) onFin(pkt *packet.Packet) {
 
 func (r *Receiver) maybeComplete() {
 	if r.complete || !r.sawFin || r.totalTG < 0 || r.decoded < r.totalTG {
+		return
+	}
+	if r.OnComplete == nil {
+		// Streaming mode: every group already left through OnGroup and was
+		// recycled; there is nothing to assemble.
+		r.complete = true
+		r.stats.Reassembly = 1
+		r.m.deliveries.Inc()
+		r.cfg.Trace.Record(metrics.Event{At: r.env.Now(), Kind: TraceDeliver, A: uint64(r.totalTG), B: r.msgLen})
+		r.Close()
 		return
 	}
 	msg := make([]byte, 0, r.totalTG*r.cfg.K*r.cfg.ShardSize)

@@ -4,9 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"rmfec/internal/metrics"
 	"rmfec/internal/packet"
+	"rmfec/internal/pipeline"
 )
 
 // SenderStats counts the sender's protocol activity; Parities/DataTx
@@ -22,11 +24,27 @@ type SenderStats struct {
 	Encoded   int // parity shards actually encoded (0 extra if pre-encoded)
 }
 
+// PipelineStats reports the pipelined path's behaviour for one transfer.
+type PipelineStats struct {
+	EncodeHits   uint64 // TGs whose parities were ready when first needed
+	EncodeMisses uint64 // TGs the engine had to wait on the encode pool for
+	Batches      int    // batched data-plane transmissions
+	BatchedPkts  int    // frames that left inside those batches
+}
+
 // Sender is the NP protocol sender: it multicasts a message as a series of
 // transmission groups, polls for per-TG feedback and repairs losses by
 // multicasting Reed-Solomon parities.
+//
+// With Config.Pipeline enabled the sender runs a pipelined data path:
+// parity encoding for upcoming groups proceeds on a bounded worker pool
+// while earlier groups are on the wire, wire frames are recycled through a
+// free-list (the steady-state transmit path allocates nothing), and data
+// frames leave in batches through BatchEnv-capable transports. Depth = 0
+// keeps the serial reference path bit-for-bit.
 type Sender struct {
 	env  Env
+	benv BatchEnv // env's batching extension; nil when unsupported/disabled
 	cfg  Config
 	code erasureCodec
 
@@ -38,13 +56,26 @@ type Sender struct {
 	// sendQ is the paced transmission queue. Parity service rounds are
 	// queued at the front ("the sender interrupts sending data packets of
 	// TGm, m > i"), data at the back.
-	sendQ   []outPkt
+	sendQ   outQueue
+	frames  bufPool  // recycled wire frames; every transmit returns here
+	batch   [][]byte // scratch for one batched transmission
+	round   []outPkt // scratch for assembling a service round
 	pumping bool
 	finLeft int
 	closed  bool
 	started bool
 
+	// Encode-ahead pool; nil on the serial path. encAhead parities per TG
+	// are computed by job g before the group is needed; encDone counts
+	// collected jobs for the queue-depth gauge.
+	enc      *pipeline.Pool
+	encAhead int
+	encDone  int
+
+	pumpCb func() // hoisted pacing callback; one closure per Sender
+
 	stats   SenderStats
+	pstats  PipelineStats
 	m       senderMetrics
 	flushed bool // per-TG transmission histogram observed (once, at Close)
 }
@@ -52,7 +83,8 @@ type Sender struct {
 type txGroup struct {
 	index      uint32
 	data       [][]byte
-	parities   [][]byte // pre-encoded parity shards (PreEncode mode)
+	parities   [][]byte // pre-encoded parity shards (PreEncode or encode-ahead)
+	collected  bool     // encode-ahead job results folded in
 	nextParity int      // next unsent parity index (0-based)
 	queued     int      // parities queued but not yet sent, for NAK aggregation
 	resendCur  int      // rotating data index for the parity-exhaustion fallback
@@ -82,11 +114,24 @@ func NewSender(env Env, cfg Config) (*Sender, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sender{env: env, cfg: cfg, code: code, m: newSenderMetrics(cfg.Metrics, cfg.K)}, nil
+	s := &Sender{env: env, cfg: cfg, code: code, m: newSenderMetrics(cfg.Metrics, cfg.K)}
+	s.pumpCb = func() {
+		s.pumping = false
+		s.pump()
+	}
+	if cfg.Pipeline.enabled() && cfg.Pipeline.Batch > 1 {
+		s.benv, _ = env.(BatchEnv)
+		s.batch = make([][]byte, 0, cfg.Pipeline.Batch)
+	}
+	return s, nil
 }
 
 // Stats returns a snapshot of the sender's counters.
 func (s *Sender) Stats() SenderStats { return s.stats }
+
+// PipelineStats returns a snapshot of the pipelined path's counters; all
+// zero for a serial (Depth = 0) sender.
+func (s *Sender) PipelineStats() PipelineStats { return s.pstats }
 
 // Groups returns the number of transmission groups of the current message.
 func (s *Sender) Groups() int { return len(s.groups) }
@@ -97,8 +142,13 @@ func (s *Sender) Groups() int { return len(s.groups) }
 // registry.
 func (s *Sender) Close() {
 	s.closed = true
-	s.sendQ = nil
+	s.sendQ.reset()
 	s.m.queueDepth.Set(0)
+	if s.enc != nil {
+		s.enc.Close()
+		s.enc = nil
+		s.m.encQueue.Set(0)
+	}
 	if !s.flushed {
 		s.flushed = true
 		for _, tg := range s.groups {
@@ -166,12 +216,72 @@ func (s *Sender) Send(msg []byte) error {
 			s.m.encoded.Add(uint64(s.cfg.MaxParity))
 		}
 	}
+	s.frames.minCap = packet.HeaderLen + s.cfg.ShardSize
+	if s.cfg.Pipeline.enabled() && !s.cfg.PreEncode &&
+		s.cfg.Proactive > 0 && s.cfg.MaxParity > 0 {
+		// Encode-ahead: job g computes TG g's proactive parities on the
+		// worker pool while earlier groups are on the wire. The window is
+		// static (Config.Proactive) even in Adaptive mode, where the EWMA
+		// may ask for more — the engine tops those up serially, exactly as
+		// it tops up NAK repairs beyond the window.
+		s.encAhead = s.cfg.Proactive
+		s.enc = pipeline.New(nTG, s.cfg.Pipeline.Workers, s.encodeJob)
+		s.enc.Prefetch(s.cfg.Pipeline.Depth - 1)
+	}
 	s.ewma = float64(s.cfg.Proactive)
 	s.finLeft = s.cfg.FinCount
 	s.m.groups.Add(uint64(nTG))
 	s.m.sourcePkts.Add(uint64(nTG * s.cfg.K))
 	s.pump()
 	return nil
+}
+
+// encodeJob computes TG g's first encAhead parities. It runs on a pool
+// worker and touches only group g's state; the engine reads tg.parities
+// only after Pool.Wait(g), which publishes the write. Row j here is
+// byte-identical to the serial path's on-demand EncodeParity(j): both the
+// batch and the single-row codec entry points evaluate the same generator
+// row, which is what keeps a pipelined zero-loss transcript equal to the
+// serial one.
+func (s *Sender) encodeJob(g int) {
+	tg := s.groups[g]
+	ps := make([][]byte, s.encAhead)
+	if s.encAhead == s.cfg.MaxParity {
+		if err := s.code.EncodeBlocks(tg.data, ps); err != nil {
+			return // leave parities nil; the engine re-encodes serially
+		}
+	} else {
+		for j := range ps {
+			shard, err := s.code.EncodeParity(j, tg.data)
+			if err != nil {
+				return
+			}
+			ps[j] = shard
+		}
+	}
+	tg.parities = ps
+}
+
+// collectParities folds the encode-ahead job of tg into the engine: waits
+// for it if needed (a miss), advances the prefetch window, and accounts the
+// encoded shards. No-op on the serial path and after the first collection.
+func (s *Sender) collectParities(tg *txGroup) {
+	if s.enc == nil || tg.collected {
+		return
+	}
+	tg.collected = true
+	if s.enc.Wait(int(tg.index)) {
+		s.pstats.EncodeHits++
+		s.m.encHits.Inc()
+	} else {
+		s.pstats.EncodeMisses++
+		s.m.encMisses.Inc()
+	}
+	s.encDone++
+	s.enc.Prefetch(int(tg.index) + s.cfg.Pipeline.Depth)
+	s.m.encQueue.Set(int64(s.enc.Submitted() - s.encDone))
+	s.stats.Encoded += len(tg.parities)
+	s.m.encoded.Add(uint64(len(tg.parities)))
 }
 
 // proactiveFor returns the number of parities sent with a group's first
@@ -202,6 +312,7 @@ func (s *Sender) refill() {
 	}
 	tg := s.groups[s.nextTG]
 	s.nextTG++
+	s.collectParities(tg)
 	if s.cfg.Adaptive {
 		// Gentle decay so the proactive level sinks again when the loss
 		// subsides; NAK arrivals (HandlePacket) push it back up.
@@ -232,8 +343,8 @@ func (s *Sender) HandlePacket(wire []byte) {
 	if s.closed {
 		return
 	}
-	pkt, err := packet.Decode(wire)
-	if err != nil || pkt.Session != s.cfg.Session {
+	var pkt packet.Packet
+	if err := packet.DecodeInto(&pkt, wire); err != nil || pkt.Session != s.cfg.Session {
 		return
 	}
 	if pkt.Type != packet.TypeNak {
@@ -286,7 +397,8 @@ func (s *Sender) HandlePacket(wire []byte) {
 // serviceRound queues `extra` repair packets for tg at the FRONT of the
 // send queue, followed by a POLL, preempting data of later groups.
 func (s *Sender) serviceRound(tg *txGroup, extra int) {
-	var round []outPkt
+	s.collectParities(tg) // a NAK can outrun the group's refill
+	round := s.round[:0]
 	for i := 0; i < extra; i++ {
 		if tg.nextParity < s.cfg.MaxParity {
 			wire, err := s.parityPacket(tg)
@@ -307,16 +419,18 @@ func (s *Sender) serviceRound(tg *txGroup, extra int) {
 		}
 	}
 	tg.queued += extra
-	pollWire := s.pollPacket(tg, extra)
-	round = append(round, outPkt{wire: pollWire, control: true, kind: packet.TypePoll})
-	s.sendQ = append(round, s.sendQ...)
-	s.m.queueDepth.Set(int64(len(s.sendQ)))
+	round = append(round, outPkt{wire: s.pollPacket(tg, extra), control: true, kind: packet.TypePoll})
+	for i := len(round) - 1; i >= 0; i-- {
+		s.sendQ.pushFront(round[i])
+	}
+	s.round = round[:0]
+	s.m.queueDepth.Set(int64(s.sendQ.size()))
 	s.pump()
 }
 
 func (s *Sender) enqueue(p outPkt) {
-	s.sendQ = append(s.sendQ, p)
-	s.m.queueDepth.Set(int64(len(s.sendQ)))
+	s.sendQ.pushBack(p)
+	s.m.queueDepth.Set(int64(s.sendQ.size()))
 }
 
 func (s *Sender) enqueuePoll(tg *txGroup, roundSize int) {
@@ -333,7 +447,18 @@ func (s *Sender) enqueueFin() {
 		Total:   uint32(len(s.groups)),
 		Payload: payload[:],
 	}
-	s.enqueue(outPkt{wire: p.MustEncode(), control: true, kind: packet.TypeFin})
+	s.enqueue(outPkt{wire: s.frameFor(&p), control: true, kind: packet.TypeFin})
+}
+
+// frameFor marshals p into a pooled wire frame. The frame returns to the
+// pool right after the transport call in transmit/flushBatch, so the
+// steady-state data path recycles a fixed working set of buffers.
+func (s *Sender) frameFor(p *packet.Packet) []byte {
+	frame := s.frames.get(p.EncodedLen())
+	if _, err := p.MarshalTo(frame); err != nil {
+		panic(err) // engine-built packets are statically valid
+	}
+	return frame
 }
 
 func (s *Sender) dataPacket(tg *txGroup, i int) []byte {
@@ -346,16 +471,18 @@ func (s *Sender) dataPacket(tg *txGroup, i int) []byte {
 		Total:   uint32(len(s.groups)),
 		Payload: tg.data[i],
 	}
-	return p.MustEncode()
+	return s.frameFor(&p)
 }
 
 func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
 	j := tg.nextParity
+	if j >= s.cfg.MaxParity {
+		return nil, fmt.Errorf("core: parity index %d beyond budget %d", j, s.cfg.MaxParity)
+	}
 	var shard []byte
-	if tg.parities != nil {
-		if j >= len(tg.parities) {
-			return nil, fmt.Errorf("core: parity index %d beyond pre-encoded budget", j)
-		}
+	if j < len(tg.parities) {
+		// Pre-encoded: either the PreEncode burst or the collected
+		// encode-ahead job.
 		shard = tg.parities[j]
 	} else {
 		var err error
@@ -376,7 +503,7 @@ func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
 		Total:   uint32(len(s.groups)),
 		Payload: shard,
 	}
-	return p.MustEncode(), nil
+	return s.frameFor(&p), nil
 }
 
 func (s *Sender) pollPacket(tg *txGroup, roundSize int) []byte {
@@ -388,43 +515,85 @@ func (s *Sender) pollPacket(tg *txGroup, roundSize int) []byte {
 		Count:   uint16(roundSize),
 		Total:   uint32(len(s.groups)),
 	}
-	return p.MustEncode()
+	return s.frameFor(&p)
 }
 
-// pump drains the send queue at one packet per Delta.
+// pump drains the send queue: one packet per Delta on the serial path, up
+// to Pipeline.Batch data frames per n*Delta tick on the batched path.
 func (s *Sender) pump() {
 	if s.pumping || s.closed {
 		return
 	}
-	if len(s.sendQ) == 0 {
+	if s.sendQ.empty() {
 		s.refill()
 	}
-	if len(s.sendQ) == 0 {
+	if s.sendQ.empty() {
 		// Data and service rounds drained; keep repeating FIN so that
 		// receivers that lost it learn the transfer bounds.
 		if s.finLeft > 0 {
 			s.finLeft--
 			s.enqueueFin()
 			s.pumping = true
-			s.env.After(s.cfg.FinInterval, func() {
-				s.pumping = false
-				s.pump()
-			})
+			s.env.After(s.cfg.FinInterval, s.pumpCb)
 		}
 		return
 	}
-	out := s.sendQ[0]
-	s.sendQ = s.sendQ[1:]
-	s.m.queueDepth.Set(int64(len(s.sendQ)))
-	s.transmit(out)
+	n := 1
+	if s.batch != nil {
+		n = s.pumpBatch()
+	} else {
+		out := s.sendQ.popFront()
+		s.m.queueDepth.Set(int64(s.sendQ.size()))
+		s.transmit(out)
+	}
 	s.pumping = true
-	s.env.After(s.cfg.Delta, func() {
-		s.pumping = false
-		s.pump()
-	})
+	s.env.After(time.Duration(n)*s.cfg.Delta, s.pumpCb)
 }
 
-func (s *Sender) transmit(out outPkt) {
+// pumpBatch sends up to Pipeline.Batch consecutive data-plane frames as
+// one batch, or a single control packet — control traffic delimits rounds
+// and always travels alone, keeping per-plane accounting identical to the
+// serial path. It returns the number of packet slots consumed, which
+// scales the pacing gap so the average rate stays one packet per Delta.
+func (s *Sender) pumpBatch() int {
+	n := 0
+	for n < s.cfg.Pipeline.Batch && !s.sendQ.empty() {
+		if s.sendQ.front().control {
+			if n == 0 {
+				s.transmit(s.sendQ.popFront())
+				n = 1
+			}
+			break
+		}
+		out := s.sendQ.popFront()
+		s.account(out)
+		s.batch = append(s.batch, out.wire)
+		n++
+	}
+	if len(s.batch) > 0 {
+		s.pstats.Batches++
+		s.pstats.BatchedPkts += len(s.batch)
+		s.m.batchPkts.Observe(float64(len(s.batch)))
+		if s.benv != nil {
+			s.benv.MulticastBatch(s.batch) //nolint:errcheck // best-effort datagrams
+		} else {
+			for _, f := range s.batch {
+				s.env.Multicast(f) //nolint:errcheck // best-effort datagrams
+			}
+		}
+		for i, f := range s.batch {
+			s.frames.put(f)
+			s.batch[i] = nil
+		}
+		s.batch = s.batch[:0]
+	}
+	s.m.queueDepth.Set(int64(s.sendQ.size()))
+	return n
+}
+
+// account applies the bookkeeping of one departing packet: stats, metrics
+// and the NAK-aggregation window.
+func (s *Sender) account(out outPkt) {
 	// Every enqueue path stamps the packet kind, so no wire decode is
 	// needed here to classify the transmission.
 	switch out.kind {
@@ -447,9 +616,14 @@ func (s *Sender) transmit(out outPkt) {
 	if out.service && out.tg != nil && out.tg.queued > 0 {
 		out.tg.queued--
 	}
+}
+
+func (s *Sender) transmit(out outPkt) {
+	s.account(out)
 	if out.control {
 		s.env.MulticastControl(out.wire) //nolint:errcheck // best-effort datagrams
-		return
+	} else {
+		s.env.Multicast(out.wire) //nolint:errcheck // best-effort datagrams
 	}
-	s.env.Multicast(out.wire) //nolint:errcheck // best-effort datagrams
+	s.frames.put(out.wire)
 }

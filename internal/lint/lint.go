@@ -82,11 +82,14 @@ func DefaultConfig() Config {
 			"internal/figures",
 			"internal/udpcast", // real-clock Env: every wall-clock read is annotated
 		},
-		// internal/mcrun is the deliberate exemption from this list: it is
-		// the deterministic parallel Monte-Carlo runner that owns ALL
-		// worker goroutines on behalf of the engines below it. Adding a
-		// new engine package here and routing its concurrency through
-		// mcrun (or a transport) is the intended pattern.
+		// internal/mcrun and internal/pipeline are the deliberate
+		// exemptions from this list: mcrun is the deterministic parallel
+		// Monte-Carlo runner and pipeline the sender's encode-ahead worker
+		// pool, and each owns ALL worker goroutines on behalf of the
+		// engines around it (disjoint output slots, index-ordered
+		// submission, Wait-published results — see their package docs).
+		// Adding a new engine package here and routing its concurrency
+		// through mcrun, pipeline or a transport is the intended pattern.
 		GoroutineFreePackages: []string{
 			"internal/core",
 			"internal/layered",

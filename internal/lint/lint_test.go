@@ -344,6 +344,36 @@ func TestDefaultConfigCoversEnginePackages(t *testing.T) {
 	if pathIn("internal/mcrun", cfg.GoroutineFreePackages) {
 		t.Error("internal/mcrun is the parallel point runner; it owns the worker goroutines by design")
 	}
+	// PR 5: the sender's encode-ahead pool joined mcrun as a documented
+	// goroutine-owning exemption.
+	if pathIn("internal/pipeline", cfg.GoroutineFreePackages) {
+		t.Error("internal/pipeline is the encode-ahead worker pool; it owns the worker goroutines by design")
+	}
+}
+
+// TestGoroutineExemptPipelinePackage is the PR-5 companion fixture to the
+// runner exemption below: a worker pool spelled identically is flagged in
+// an engine package but tolerated in the pipeline package, which — like
+// mcrun — is exempt by omission from GoroutineFreePackages. The engine
+// finding proves the exemption is the package, not the pattern.
+func TestGoroutineExemptPipelinePackage(t *testing.T) {
+	src := `package %s
+
+func Workers(n int, run func(i int), jobs chan int) {
+	for w := 0; w < n; w++ {
+		go func() {
+			for i := range jobs {
+				run(i)
+			}
+		}()
+	}
+}
+`
+	got := runFixture(t, Config{GoroutineFreePackages: []string{"engine"}}, map[string]string{
+		"engine/engine.go":     fmt.Sprintf(src, "engine"),
+		"pipeline/pipeline.go": fmt.Sprintf(src, "pipeline"),
+	})
+	wantDiags(t, got, "engine/engine.go:5: no-goroutines")
 }
 
 // TestGoroutineExemptRunnerPackage is the PR-3 fixture: an identical go

@@ -30,5 +30,33 @@ func FuzzDecode(f *testing.F) {
 			p.Total != p2.Total || !bytes.Equal(p.Payload, p2.Payload) {
 			t.Fatal("decode/encode/decode not idempotent")
 		}
+
+		// The append-style paths must agree with Encode byte for byte.
+		appended, err := p.AppendTo(append([]byte(nil), 0xAA, 0xBB))
+		if err != nil {
+			t.Fatalf("AppendTo failed on a decodable packet: %v", err)
+		}
+		if !bytes.Equal(appended[2:], wire) {
+			t.Fatal("AppendTo output differs from Encode")
+		}
+		frame := make([]byte, p.EncodedLen())
+		n, err := p.MarshalTo(frame)
+		if err != nil {
+			t.Fatalf("MarshalTo failed on a decodable packet: %v", err)
+		}
+		if !bytes.Equal(frame[:n], wire) {
+			t.Fatal("MarshalTo output differs from Encode")
+		}
+
+		// The aliasing decode must agree with the copying one.
+		var alias Packet
+		if err := DecodeInto(&alias, wire); err != nil {
+			t.Fatalf("DecodeInto rejected Decode-accepted bytes: %v", err)
+		}
+		if alias.Type != p2.Type || alias.Session != p2.Session || alias.Group != p2.Group ||
+			alias.Seq != p2.Seq || alias.K != p2.K || alias.Count != p2.Count ||
+			alias.Total != p2.Total || !bytes.Equal(alias.Payload, p2.Payload) {
+			t.Fatal("DecodeInto and Decode disagree")
+		}
 	})
 }

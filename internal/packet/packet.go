@@ -90,30 +90,59 @@ type Packet struct {
 	Payload []byte
 }
 
-// AppendEncode appends the wire encoding of p to dst and returns the
-// extended slice.
-func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
+// EncodedLen returns the wire size of p: the fixed header plus payload.
+func (p *Packet) EncodedLen() int { return HeaderLen + len(p.Payload) }
+
+// MarshalTo encodes p into the beginning of dst, which must have room for
+// EncodedLen() bytes, and returns the number of bytes written. It performs
+// no allocation, so callers recycling wire frames through a free-list pay
+// only the header stores and the payload copy.
+func (p *Packet) MarshalTo(dst []byte) (int, error) {
 	if p.Type == TypeInvalid || p.Type > TypeFin {
-		return nil, fmt.Errorf("%w: %d", ErrBadType, p.Type)
+		return 0, fmt.Errorf("%w: %d", ErrBadType, p.Type)
 	}
 	if len(p.Payload) >= MaxPayload {
-		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, len(p.Payload))
+		return 0, fmt.Errorf("%w: %d bytes", ErrOversize, len(p.Payload))
 	}
-	var hdr [HeaderLen]byte
-	hdr[0] = Magic
-	hdr[1] = Version
-	hdr[2] = byte(p.Type)
-	binary.BigEndian.PutUint32(hdr[4:], p.Session)
-	binary.BigEndian.PutUint32(hdr[8:], p.Group)
-	binary.BigEndian.PutUint16(hdr[12:], p.Seq)
-	binary.BigEndian.PutUint16(hdr[14:], p.K)
-	binary.BigEndian.PutUint16(hdr[16:], p.Count)
-	binary.BigEndian.PutUint16(hdr[18:], uint16(len(p.Payload)))
-	binary.BigEndian.PutUint32(hdr[20:], p.Total)
-	dst = append(dst, hdr[:]...)
-	dst = append(dst, p.Payload...)
+	n := HeaderLen + len(p.Payload)
+	if len(dst) < n {
+		return 0, fmt.Errorf("%w: need %d bytes, have %d", ErrTooShort, n, len(dst))
+	}
+	dst[0] = Magic
+	dst[1] = Version
+	dst[2] = byte(p.Type)
+	dst[3] = 0
+	binary.BigEndian.PutUint32(dst[4:], p.Session)
+	binary.BigEndian.PutUint32(dst[8:], p.Group)
+	binary.BigEndian.PutUint16(dst[12:], p.Seq)
+	binary.BigEndian.PutUint16(dst[14:], p.K)
+	binary.BigEndian.PutUint16(dst[16:], p.Count)
+	binary.BigEndian.PutUint16(dst[18:], uint16(len(p.Payload)))
+	binary.BigEndian.PutUint32(dst[20:], p.Total)
+	copy(dst[HeaderLen:], p.Payload)
+	return n, nil
+}
+
+// AppendTo appends the wire encoding of p to dst and returns the extended
+// slice. With sufficient spare capacity in dst it performs no allocation.
+func (p *Packet) AppendTo(dst []byte) ([]byte, error) {
+	at := len(dst)
+	n := p.EncodedLen()
+	if cap(dst)-at < n {
+		grown := make([]byte, at, at+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:at+n]
+	if _, err := p.MarshalTo(dst[at:]); err != nil {
+		return nil, err
+	}
 	return dst, nil
 }
+
+// AppendEncode appends the wire encoding of p to dst and returns the
+// extended slice. It is AppendTo under its historical name.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) { return p.AppendTo(dst) }
 
 // Encode returns the wire encoding of p in a fresh buffer.
 func (p *Packet) Encode() ([]byte, error) {
@@ -132,36 +161,51 @@ func (p *Packet) MustEncode() []byte {
 // Decode parses a wire packet. The returned Packet owns a copy of the
 // payload, so the input buffer may be reused by the caller.
 func Decode(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := DecodeInto(p, b); err != nil {
+		return nil, err
+	}
+	if len(p.Payload) > 0 {
+		p.Payload = append([]byte(nil), p.Payload...)
+	}
+	return p, nil
+}
+
+// DecodeInto parses a wire packet into p without allocating: p.Payload
+// ALIASES b, so it is valid only while the caller keeps b intact. It is
+// the zero-alloc decode entry point for engines that copy what they keep
+// (a shard into a recycled buffer) and drop the rest, letting transports
+// hand the same read buffer to every callback.
+func DecodeInto(p *Packet, b []byte) error {
 	if len(b) < HeaderLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooShort, len(b))
+		return fmt.Errorf("%w: %d bytes", ErrTooShort, len(b))
 	}
 	if b[0] != Magic {
-		return nil, fmt.Errorf("%w: %#x", ErrBadMagic, b[0])
+		return fmt.Errorf("%w: %#x", ErrBadMagic, b[0])
 	}
 	if b[1] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[1])
+		return fmt.Errorf("%w: %d", ErrBadVersion, b[1])
 	}
 	t := Type(b[2])
 	if t == TypeInvalid || t > TypeFin {
-		return nil, fmt.Errorf("%w: %d", ErrBadType, b[2])
+		return fmt.Errorf("%w: %d", ErrBadType, b[2])
 	}
 	plen := int(binary.BigEndian.Uint16(b[18:]))
 	if len(b) < HeaderLen+plen {
-		return nil, fmt.Errorf("%w: have %d, want %d", ErrTruncated, len(b)-HeaderLen, plen)
+		return fmt.Errorf("%w: have %d, want %d", ErrTruncated, len(b)-HeaderLen, plen)
 	}
-	p := &Packet{
-		Type:    t,
-		Session: binary.BigEndian.Uint32(b[4:]),
-		Group:   binary.BigEndian.Uint32(b[8:]),
-		Seq:     binary.BigEndian.Uint16(b[12:]),
-		K:       binary.BigEndian.Uint16(b[14:]),
-		Count:   binary.BigEndian.Uint16(b[16:]),
-		Total:   binary.BigEndian.Uint32(b[20:]),
-	}
+	p.Type = t
+	p.Session = binary.BigEndian.Uint32(b[4:])
+	p.Group = binary.BigEndian.Uint32(b[8:])
+	p.Seq = binary.BigEndian.Uint16(b[12:])
+	p.K = binary.BigEndian.Uint16(b[14:])
+	p.Count = binary.BigEndian.Uint16(b[16:])
+	p.Total = binary.BigEndian.Uint32(b[20:])
+	p.Payload = nil
 	if plen > 0 {
-		p.Payload = append([]byte(nil), b[HeaderLen:HeaderLen+plen]...)
+		p.Payload = b[HeaderLen : HeaderLen+plen : HeaderLen+plen]
 	}
-	return p, nil
+	return nil
 }
 
 // String renders a compact human-readable description for logging.

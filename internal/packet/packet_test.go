@@ -145,3 +145,94 @@ func TestPacketString(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+func TestMarshalToMatchesEncode(t *testing.T) {
+	p := &Packet{Type: TypeParity, Session: 5, Group: 8, Seq: 21, K: 20,
+		Count: 1, Total: 40, Payload: []byte("parity shard payload")}
+	want := p.MustEncode()
+	buf := make([]byte, p.EncodedLen()+8)
+	n, err := p.MarshalTo(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != p.EncodedLen() {
+		t.Fatalf("MarshalTo wrote %d bytes, want %d", n, p.EncodedLen())
+	}
+	if !bytes.Equal(buf[:n], want) {
+		t.Fatal("MarshalTo and Encode disagree")
+	}
+}
+
+func TestMarshalToErrors(t *testing.T) {
+	p := &Packet{Type: TypeData, Payload: []byte("xy")}
+	if _, err := p.MarshalTo(make([]byte, p.EncodedLen()-1)); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short dst: %v", err)
+	}
+	if _, err := (&Packet{Type: TypeInvalid}).MarshalTo(make([]byte, HeaderLen)); !errors.Is(err, ErrBadType) {
+		t.Errorf("invalid type: %v", err)
+	}
+	big := &Packet{Type: TypeData, Payload: make([]byte, MaxPayload)}
+	if _, err := big.MarshalTo(make([]byte, MaxPayload+HeaderLen)); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
+func TestMarshalToClearsFlags(t *testing.T) {
+	buf := make([]byte, HeaderLen)
+	for i := range buf {
+		buf[i] = 0xff // dirty recycled frame
+	}
+	p := &Packet{Type: TypePoll, Count: 3}
+	if _, err := p.MarshalTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[3] != 0 {
+		t.Fatal("reserved flags byte not cleared on a recycled frame")
+	}
+}
+
+// TestMarshalPathsZeroAlloc pins the zero-allocation contract of the
+// append-style marshal and aliasing decode: the sender's frame-pool path
+// depends on it (see core.Sender and DESIGN.md "Transmit pipeline").
+func TestMarshalPathsZeroAlloc(t *testing.T) {
+	payload := make([]byte, 1024)
+	p := &Packet{Type: TypeData, Session: 1, Group: 2, Seq: 3, K: 20, Payload: payload}
+	frame := make([]byte, p.EncodedLen())
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := p.MarshalTo(frame); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("MarshalTo allocates %.1f/op, want 0", avg)
+	}
+	appendBuf := make([]byte, 0, p.EncodedLen())
+	if avg := testing.AllocsPerRun(200, func() {
+		out, err := p.AppendTo(appendBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = out
+	}); avg != 0 {
+		t.Errorf("AppendTo with capacity allocates %.1f/op, want 0", avg)
+	}
+	var dec Packet
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := DecodeInto(&dec, frame); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("DecodeInto allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestDecodeIntoAliasesPayload(t *testing.T) {
+	wire := (&Packet{Type: TypeData, Payload: []byte{1, 2, 3}}).MustEncode()
+	var p Packet
+	if err := DecodeInto(&p, wire); err != nil {
+		t.Fatal(err)
+	}
+	wire[HeaderLen] = 0xee
+	if p.Payload[0] != 0xee {
+		t.Fatal("DecodeInto copied the payload; it must alias for the zero-alloc path")
+	}
+}

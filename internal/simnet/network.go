@@ -146,6 +146,11 @@ func (node *Node) Multicast(b []byte) error { return node.send(b, false) }
 func (node *Node) MulticastControl(b []byte) error { return node.send(b, true) }
 
 func (node *Node) send(b []byte, control bool) error {
+	// The core.Env contract lets engines recycle wire frames as soon as the
+	// send call returns, while this medium delivers asynchronously through
+	// scheduler events. Take the network's one copy at ingress; it is then
+	// shared read-only by every destination's deferred arrival.
+	b = append([]byte(nil), b...)
 	net := node.net
 	net.sent++
 	net.m.sent.Inc()

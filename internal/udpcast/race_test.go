@@ -74,6 +74,62 @@ func TestConcurrentCloseServeMulticast(t *testing.T) {
 	}
 }
 
+// TestConcurrentMulticastBatchClose races batched sends against single
+// sends, the read loop and Close. MulticastBatch takes no locks by design
+// (engine callbacks may call it re-entrantly), so -race must prove the
+// closed-flag fast path and the shared send socket stay coherent while the
+// connection is torn down mid-batch.
+func TestConcurrentMulticastBatchClose(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		c := join(t, groupAddr(t))
+		c.Serve(func(b []byte) { _ = len(b) })
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+
+		batch := make([][]byte, 16)
+		for i := range batch {
+			batch[i] = []byte("batched-frame")
+		}
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 50; j++ {
+					if err := c.MulticastBatch(batch); err != nil {
+						return // closed under us: expected
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 50; j++ {
+				if err := c.MulticastControl([]byte("ctl")); err != nil {
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			time.Sleep(time.Millisecond)
+			if err := c.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+
+		close(start)
+		wg.Wait()
+		if err := c.MulticastBatch(batch); err != ErrClosed {
+			t.Errorf("MulticastBatch after Close = %v, want ErrClosed", err)
+		}
+	}
+}
+
 // TestServeAfterCloseIsNoop pins the lifecycle contract the race test
 // relies on: once Close returns, Serve must not start a read loop.
 func TestServeAfterCloseIsNoop(t *testing.T) {

@@ -150,6 +150,35 @@ func (c *Conn) send(b []byte, plane *metrics.Counter) error {
 	return nil
 }
 
+// MulticastBatch implements core.BatchEnv: it multicasts a run of
+// data-plane frames with one closed-check and one metrics update for the
+// whole batch, amortizing the per-send bookkeeping the pipelined sender
+// pays per pacing tick. Frames are written in order; the first write error
+// aborts the remainder and is returned. Like Multicast, it takes no locks
+// and may be called from engine callbacks, and no frame is retained after
+// the call returns.
+func (c *Conn) MulticastBatch(frames [][]byte) error {
+	if c.closed.Load() {
+		c.m.txErrors.Inc()
+		return ErrClosed
+	}
+	var bytes uint64
+	sent := 0
+	for _, b := range frames {
+		if _, err := c.sc.Write(b); err != nil {
+			c.m.txData.Add(uint64(sent))
+			c.m.txBytes.Add(bytes)
+			c.m.txErrors.Inc()
+			return err
+		}
+		sent++
+		bytes += uint64(len(b))
+	}
+	c.m.txData.Add(uint64(sent))
+	c.m.txBytes.Add(bytes)
+	return nil
+}
+
 // After implements core.Env: fn runs on the engine mutex unless canceled
 // or the Conn is closed first.
 func (c *Conn) After(d time.Duration, fn func()) (cancel func()) {
@@ -182,6 +211,12 @@ func (c *Conn) After(d time.Duration, fn func()) (cancel func()) {
 // a background goroutine. Datagrams from this host's own send socket are
 // delivered too (multicast loopback) — the engines ignore packet types
 // they did not subscribe to, mirroring a shared broadcast medium.
+//
+// The handler is invoked with a slice of the loop's single read buffer,
+// which the next datagram overwrites: the handler must copy anything it
+// keeps and must not retain the slice after returning. The core engines
+// honour this (they decode in place and copy shards into pooled buffers),
+// which is what lets the read loop run without a per-datagram allocation.
 func (c *Conn) Serve(handler func(b []byte)) {
 	c.mu.Lock()
 	if c.closed.Load() {
@@ -208,13 +243,15 @@ func (c *Conn) Serve(handler func(b []byte)) {
 				c.m.drops.Inc()
 				return
 			}
-			pkt := make([]byte, n)
-			copy(pkt, buf[:n])
 			c.mu.Lock()
 			if h := c.handler; h != nil && !c.closed.Load() {
 				c.m.rxPkts.Inc()
 				c.m.rxBytes.Add(uint64(n))
-				h(pkt)
+				// The handler gets the read buffer itself (see Serve doc);
+				// it runs under mu and the next read only starts after it
+				// returns, so the buffer is stable for the callback's
+				// duration.
+				h(buf[:n])
 			} else {
 				c.m.drops.Inc()
 			}

@@ -62,6 +62,30 @@ func TestLoopbackDelivery(t *testing.T) {
 	}
 }
 
+func TestMulticastBatchDelivery(t *testing.T) {
+	group := groupAddr(t)
+	a := join(t, group)
+	b := join(t, group)
+
+	got := make(chan []byte, 10)
+	b.Serve(func(p []byte) { got <- append([]byte(nil), p...) })
+	time.Sleep(50 * time.Millisecond)
+	frames := [][]byte{[]byte("frame-0"), []byte("frame-1"), []byte("frame-2")}
+	if err := a.MulticastBatch(frames); err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames {
+		select {
+		case p := <-got:
+			if !bytes.Equal(p, frames[i]) {
+				t.Fatalf("frame %d: got %q, want %q", i, p, frames[i])
+			}
+		case <-time.After(2 * time.Second):
+			t.Skip("multicast loopback not delivering in this environment")
+		}
+	}
+}
+
 func TestAfterAndCancel(t *testing.T) {
 	group := groupAddr(t)
 	c := join(t, group)

@@ -5,9 +5,12 @@
 # retained scalar reference, the RSE encode/decode packet rates at the
 # paper's k=7,h=7 and k=20,h=5 operating points, the sparse Monte-Carlo
 # engines (NoFEC and Layered at R = 1e4 and 1e6, p = 0.01) against the
-# retained dense pre-PR engines, and one end-to-end `figures -quick`
-# regeneration. The snapshot goes to BENCH_PR3.json (median of several
-# passes; see cmd/bench). Compare snapshots across PRs to catch codec or
+# retained dense pre-PR engines, the NP loopback sender throughput
+# (pipelined encode-ahead + pooled frames + batched transmit against the
+# retained pre-PR serial transmit path, at the paper's k=20, h=5, 1 KiB
+# operating point), and one end-to-end `figures -quick` regeneration. The
+# snapshot goes to BENCH_PR5.json (median of several passes; see
+# cmd/bench). Compare snapshots across PRs to catch codec, protocol or
 # simulation regressions.
 set -eu
 cd "$(dirname "$0")/.."

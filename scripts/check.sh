@@ -9,18 +9,24 @@
 #                       float-eq, mutex-discipline, doc-comment) — see
 #                       internal/lint
 #   5. go test          full test suite
-#   6. bench smoke      kernel benchmarks at one iteration, so the
-#                       BenchmarkKernels suites compile and run
-#   7. go test -race    short-mode tests of the concurrent packages under
+#   6. go test -race    short-mode tests of the concurrent packages under
 #                       the race detector (udpcast transport, simnet
-#                       scheduler, core engines driven by both, and the
-#                       mcrun parallel Monte-Carlo runner)
-#   8. figures diff     two `figures -quick` runs at different -parallel
+#                       scheduler, core engines driven by both, the mcrun
+#                       parallel Monte-Carlo runner, and the encode-ahead
+#                       pipeline pool)
+#   7. bench smoke      one 1-pass NP loopback drain through cmd/bench
+#                       -np-only, so the end-to-end throughput tier
+#                       compiles and both sender paths drain to idle
+#   8. transcripts      the sender transcript hash of a fixed transfer,
+#                       twice at pipeline depth 0 and once pipelined:
+#                       depth 0 must be deterministic run-to-run and the
+#                       pipelined wire sequence byte-identical to serial
+#   9. figures diff     two `figures -quick` runs at different -parallel
 #                       values must produce byte-identical TSV output for
 #                       every simulated figure (the mcrun determinism
 #                       contract, end to end; fig 1 measures this
 #                       machine's coder throughput, so it is excluded)
-#   9. metrics smoke    start npsend -metrics-addr, scrape /metrics, and
+#  10. metrics smoke    start npsend -metrics-addr, scrape /metrics, and
 #                       diff the exposed series set against
 #                       scripts/metrics_schema.txt — a renamed or dropped
 #                       series breaks dashboards silently, so the schema
@@ -50,7 +56,23 @@ echo '== go test ./...'
 go test ./...
 
 echo '== go test -race -short (concurrent packages)'
-go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/
+go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/
+
+echo '== NP loopback bench smoke (cmd/bench -np-only, 1 pass)'
+go run ./cmd/bench -np-only -runs 1 -np-groups 40 -out - > /dev/null
+
+echo '== sender transcript determinism (depth 0 x2, pipelined x1)'
+t0a=$(go run ./cmd/bench -transcript -depth 0)
+t0b=$(go run ./cmd/bench -transcript -depth 0)
+t8=$(go run ./cmd/bench -transcript -depth 8)
+if [ "$t0a" != "$t0b" ]; then
+    echo "serial sender transcript not deterministic: $t0a vs $t0b" >&2
+    exit 1
+fi
+if [ "$t0a" != "$t8" ]; then
+    echo "pipelined sender transcript differs from serial: $t0a vs $t8" >&2
+    exit 1
+fi
 
 echo '== figures determinism (-parallel 1 vs 8, simulated figures)'
 tmp=$(mktemp -d)
