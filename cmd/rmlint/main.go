@@ -4,15 +4,21 @@
 // engine invariants that keep the paper's figures reproducible:
 //
 //	rmlint ./...               # whole module (the usual CI invocation)
-//	rmlint ./internal/core     # one package
+//	rmlint ./internal/core     # one package (analysis still spans the module)
 //	rmlint -rules              # list rules and what they guard
+//	rmlint -explain <rule>     # what a rule proves, what it cannot, how to suppress
+//	rmlint -json ./...         # findings as a JSON array, for tooling
+//	rmlint -metrics-schema     # print the derived static metrics series set
 //
 // Findings print as "file:line: rule: message" and make the exit status 1;
-// a clean tree exits 0. Suppress a single finding with
+// a clean tree exits 0 and loader/usage failures exit 2. Type-checker
+// failures are findings too (rule type-error), so a broken tree can never
+// look clean. Suppress a single finding with
 // //rmlint:ignore <rule> <reason> on or directly above the line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +30,11 @@ import (
 
 func main() {
 	listRules := flag.Bool("rules", false, "list the enforced rules and exit")
+	explain := flag.String("explain", "", "print a rule's long-form description and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	metricsSchema := flag.Bool("metrics-schema", false, "print the derived static metrics series set and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rmlint [-rules] [packages]\n\npackages are module-relative dirs or ./... (default)\n")
+		fmt.Fprintf(os.Stderr, "usage: rmlint [-rules] [-explain rule] [-json] [-metrics-schema] [packages]\n\npackages are module-relative dirs or ./... (default)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,6 +43,14 @@ func main() {
 		for _, r := range lint.Rules() {
 			fmt.Printf("%-18s %s\n", r.Name, r.Doc)
 		}
+		return
+	}
+	if *explain != "" {
+		text, ok := lint.Explain(*explain)
+		if !ok {
+			fatal(fmt.Errorf("rmlint: unknown rule %q (try -rules)", *explain))
+		}
+		fmt.Printf("%s\n\n%s\n", *explain, text)
 		return
 	}
 
@@ -50,14 +67,65 @@ func main() {
 		fatal(err)
 	}
 
-	pkgs, err := selectPackages(mod, root, cwd, flag.Args())
+	if *metricsSchema {
+		schema, diags := lint.MetricsSchema(mod)
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		for _, id := range schema {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	// Analysis always spans the whole module (stale-ignore and the metrics
+	// schema reconciliation are only sound globally); the package patterns
+	// select which findings are displayed. Module-wide findings — the
+	// schema file, loader errors without a position — only surface when
+	// the whole module is selected.
+	selected, all, err := selectDirs(mod, root, cwd, flag.Args())
 	if err != nil {
 		fatal(err)
 	}
+	diags := lint.Run(mod, lint.DefaultConfig())
+	if !all {
+		kept := diags[:0]
+		for _, d := range diags {
+			dir := filepath.ToSlash(filepath.Dir(d.Pos.Filename))
+			if dir == "." {
+				dir = ""
+			}
+			if selected[dir] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 
-	diags := lint.Run(pkgs, lint.DefaultConfig())
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		type jsonDiag struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+			Rule string `json:"rule"`
+			Msg  string `json:"msg"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "rmlint: %d finding(s)\n", len(diags))
@@ -65,19 +133,14 @@ func main() {
 	}
 }
 
-// selectPackages resolves command-line patterns against the loaded module.
-// "./..." (or no argument) selects everything; other arguments name single
-// package directories, relative to the working directory.
-func selectPackages(mod *lint.Module, root, cwd string, patterns []string) ([]*lint.Package, error) {
+// selectDirs resolves command-line patterns to the set of module-relative
+// package dirs whose findings are displayed. all is true when the
+// selection covers the entire module.
+func selectDirs(mod *lint.Module, root, cwd string, patterns []string) (map[string]bool, bool, error) {
 	if len(patterns) == 0 {
-		return mod.Pkgs, nil
+		return nil, true, nil
 	}
-	byRel := make(map[string]*lint.Package, len(mod.Pkgs))
-	for _, p := range mod.Pkgs {
-		byRel[p.Rel] = p
-	}
-	var out []*lint.Package
-	seen := make(map[string]bool)
+	selected := make(map[string]bool)
 	for _, pat := range patterns {
 		recursive := false
 		if pat == "all" {
@@ -95,26 +158,27 @@ func selectPackages(mod *lint.Module, root, cwd string, patterns []string) ([]*l
 		}
 		rel, err := filepath.Rel(root, abs)
 		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
-			return nil, fmt.Errorf("rmlint: %s is outside module %s", pat, mod.Path)
+			return nil, false, fmt.Errorf("rmlint: %s is outside module %s", pat, mod.Path)
 		}
 		if rel == "." {
 			rel = ""
 		}
 		rel = filepath.ToSlash(rel)
+		if recursive && rel == "" {
+			return nil, true, nil
+		}
 		matched := false
 		for _, p := range mod.Pkgs {
-			ok := p.Rel == rel || (recursive && (rel == "" || strings.HasPrefix(p.Rel, rel+"/")))
-			if ok && !seen[p.Path] {
-				seen[p.Path] = true
-				out = append(out, p)
+			if p.Rel == rel || (recursive && strings.HasPrefix(p.Rel, rel+"/")) {
+				selected[p.Rel] = true
+				matched = true
 			}
-			matched = matched || ok
 		}
 		if !matched {
-			return nil, fmt.Errorf("rmlint: no packages match %s", pat)
+			return nil, false, fmt.Errorf("rmlint: no packages match %s", pat)
 		}
 	}
-	return out, nil
+	return selected, false, nil
 }
 
 func fatal(err error) {

@@ -146,6 +146,7 @@ func (r *Receiver) released(idx uint32) bool {
 func (r *Receiver) setReleased(idx uint32) {
 	w := int(idx >> 6)
 	for len(r.doneBits) <= w {
+		//rmlint:ignore hotpath-alloc bitset grows only until noteTotal pre-sizes it
 		r.doneBits = append(r.doneBits, 0)
 	}
 	r.doneBits[w] |= 1 << (idx & 63)
@@ -160,6 +161,7 @@ func (r *Receiver) group(idx uint32) *rxGroup {
 			r.freeGroups = r.freeGroups[:n-1]
 			*g = rxGroup{shards: g.shards} // shards were nil'd at release
 		} else {
+			//rmlint:ignore hotpath-alloc one allocation per live group; groups recycle through freeGroups
 			g = &rxGroup{shards: make([][]byte, r.cfg.K+r.cfg.MaxParity)}
 		}
 		r.groups[idx] = g
@@ -183,12 +185,15 @@ func (r *Receiver) releaseGroup(idx uint32, g *rxGroup) {
 		g.nakCancel = nil
 	}
 	delete(r.groups, idx)
+	//rmlint:ignore hotpath-alloc free-list growth is amortized across the session
 	r.freeGroups = append(r.freeGroups, g)
 }
 
 // HandlePacket feeds an incoming wire packet to the engine. The buffer is
 // only read during the call; the engine keeps copies of what it retains,
 // so transports may hand the same read buffer to every invocation.
+//
+//rmlint:hotpath
 func (r *Receiver) HandlePacket(wire []byte) {
 	if r.closed || r.complete {
 		return
@@ -214,6 +219,7 @@ func (r *Receiver) noteTotal(total uint32) {
 		r.totalTG = int(total)
 		// Pre-size the release bitset so the steady state never grows it.
 		if need := (r.totalTG + 63) / 64; len(r.doneBits) < need {
+			//rmlint:ignore hotpath-alloc one-time pre-size when the total TG count is announced
 			bits := make([]uint64, need)
 			copy(bits, r.doneBits)
 			r.doneBits = bits
@@ -381,9 +387,11 @@ func (r *Receiver) armNak(idx uint32, g *rxGroup, roundSize int) {
 		g.nakCancel()
 	}
 	g.nakArmed = true
+	//rmlint:ignore hotpath-alloc NAK timer closure: armed only after loss, never in the loss-free steady state
 	g.nakCancel = r.env.After(delay, func() { r.fireNak(idx, g) })
 }
 
+//rmlint:hotpath
 func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
 	if r.closed || g.done {
 		return
@@ -420,6 +428,7 @@ func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
 	backoff := r.cfg.RetryBase * time.Duration(min(g.retryCount, 8))
 	g.heardNak = 0
 	g.nakArmed = true
+	//rmlint:ignore hotpath-alloc NAK retry closure: runs only while a group stays incomplete after loss
 	g.nakCancel = r.env.After(backoff, func() { r.fireNak(idx, g) })
 }
 
@@ -472,10 +481,12 @@ func (r *Receiver) maybeComplete() {
 		r.Close()
 		return
 	}
+	//rmlint:ignore hotpath-alloc final reassembly runs once per session
 	msg := make([]byte, 0, r.totalTG*r.cfg.K*r.cfg.ShardSize)
 	for i := 0; i < r.totalTG; i++ {
 		g := r.groups[uint32(i)]
 		for j := 0; j < r.cfg.K; j++ {
+			//rmlint:ignore hotpath-alloc reassembly buffer is presized; runs once per session
 			msg = append(msg, g.shards[j]...)
 		}
 	}

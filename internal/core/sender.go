@@ -339,6 +339,8 @@ func (s *Sender) refill() {
 
 // HandlePacket feeds an incoming wire packet (a NAK, in a sender's case)
 // to the engine. Non-NAK or foreign-session packets are ignored.
+//
+//rmlint:hotpath
 func (s *Sender) HandlePacket(wire []byte) {
 	if s.closed {
 		return
@@ -406,6 +408,7 @@ func (s *Sender) serviceRound(tg *txGroup, extra int) {
 				// Cannot happen with validated config; drop the round.
 				return
 			}
+			//rmlint:ignore hotpath-alloc round reuses the s.round backing; grows only until the largest repair round
 			round = append(round, outPkt{wire: wire, kind: packet.TypeParity, service: true, tg: tg})
 		} else {
 			// Parities exhausted: fall back to re-sending the originals
@@ -415,10 +418,12 @@ func (s *Sender) serviceRound(tg *txGroup, extra int) {
 			// repaired.
 			idx := tg.resendCur % s.cfg.K
 			tg.resendCur++
+			//rmlint:ignore hotpath-alloc round reuses the s.round backing; grows only until the largest repair round
 			round = append(round, outPkt{wire: s.dataPacket(tg, idx), kind: packet.TypeData, service: true, tg: tg})
 		}
 	}
 	tg.queued += extra
+	//rmlint:ignore hotpath-alloc round reuses the s.round backing; grows only until the largest repair round
 	round = append(round, outPkt{wire: s.pollPacket(tg, extra), control: true, kind: packet.TypePoll})
 	for i := len(round) - 1; i >= 0; i-- {
 		s.sendQ.pushFront(round[i])
@@ -520,6 +525,8 @@ func (s *Sender) pollPacket(tg *txGroup, roundSize int) []byte {
 
 // pump drains the send queue: one packet per Delta on the serial path, up
 // to Pipeline.Batch data frames per n*Delta tick on the batched path.
+//
+//rmlint:hotpath
 func (s *Sender) pump() {
 	if s.pumping || s.closed {
 		return
@@ -567,6 +574,7 @@ func (s *Sender) pumpBatch() int {
 		}
 		out := s.sendQ.popFront()
 		s.account(out)
+		//rmlint:ignore hotpath-alloc batch backing is reused across pumps; grows only to Pipeline.Batch
 		s.batch = append(s.batch, out.wire)
 		n++
 	}

@@ -141,6 +141,8 @@ func lengthMismatch(op string, a, b int) string {
 // MulSlice sets dst[i] = c*src[i] with the word-parallel kernel of
 // kernels.go. dst and src must have equal length and must not alias unless
 // identical. A zero coefficient zeroes dst; coefficient one copies.
+//
+//rmlint:hotpath
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(lengthMismatch("MulSlice", len(src), len(dst)))
@@ -161,6 +163,8 @@ func MulSlice(c byte, src, dst []byte) {
 // the heart of Reed-Solomon encoding and decoding, with the word-parallel
 // kernel of kernels.go. dst and src must have equal length and must not
 // alias unless identical.
+//
+//rmlint:hotpath
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(lengthMismatch("MulAddSlice", len(src), len(dst)))
@@ -183,6 +187,8 @@ func MulAddSlice(c byte, src, dst []byte) {
 // through many 128 KiB pair tables evicts them faster than they pay off
 // (the word kernel drops to ~0.25x the scalar loop beyond ~64 live
 // coefficients; see BenchmarkKernels and DESIGN.md).
+//
+//rmlint:hotpath
 func MulSliceCompact(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(lengthMismatch("MulSliceCompact", len(src), len(dst)))
@@ -205,6 +211,8 @@ func MulSliceCompact(c byte, src, dst []byte) {
 // MulAddSliceCompact is MulAddSlice restricted to the shared 64 KiB product
 // table; see MulSliceCompact. The c == 1 case still runs the word-parallel
 // XOR — it needs no per-coefficient table.
+//
+//rmlint:hotpath
 func MulAddSliceCompact(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(lengthMismatch("MulAddSliceCompact", len(src), len(dst)))
@@ -223,6 +231,8 @@ func MulAddSliceCompact(c byte, src, dst []byte) {
 }
 
 // AddSlice computes dst[i] ^= src[i], 64 bits at a time.
+//
+//rmlint:hotpath
 func AddSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(lengthMismatch("AddSlice", len(src), len(dst)))

@@ -1,0 +1,99 @@
+package lint
+
+import "testing"
+
+// TestBufferOwnershipEscapes: every way a handler can retain its borrowed
+// buffer past the call — field store, aliasing append, channel send,
+// goroutine hand-off, closure capture — is a finding.
+func TestBufferOwnershipEscapes(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"transport/transport.go": `package transport
+
+type Engine struct {
+	stash []byte
+	bufs  [][]byte
+	ch    chan []byte
+	cb    func()
+}
+
+func (e *Engine) HandlePacket(b []byte) {
+	e.stash = b
+	e.bufs = append(e.bufs, b)
+	e.ch <- b
+	go use(b)
+	e.cb = func() { _ = b[0] }
+}
+
+func use(b []byte) {}
+`,
+	})
+	wantDiags(t, got,
+		"transport/transport.go:11: buffer-ownership",
+		"transport/transport.go:12: buffer-ownership",
+		"transport/transport.go:13: buffer-ownership",
+		"transport/transport.go:14: buffer-ownership",
+		"transport/transport.go:15: buffer-ownership",
+	)
+}
+
+// TestBufferOwnershipBorrowsAndCopies: passing the buffer onward, copying
+// its bytes, and retaining only after an explicit copy (including the
+// reassign-over-the-parameter idiom) are the sanctioned patterns.
+func TestBufferOwnershipBorrowsAndCopies(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"transport/transport.go": `package transport
+
+type Engine struct{ stash []byte }
+
+func (e *Engine) HandlePacket(b []byte) {
+	parse(b[4:])
+	c := append([]byte(nil), b...)
+	e.stash = c
+	b = append([]byte(nil), b...)
+	e.stash = b
+	func() { _ = b[0] }()
+}
+
+func parse(b []byte) {}
+`,
+	})
+	wantDiags(t, got)
+}
+
+// TestBufferOwnershipBatchRange: ranging over a [][]byte batch parameter
+// tracks each element; storing one is the same escape.
+func TestBufferOwnershipBatchRange(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"transport/transport.go": `package transport
+
+type Engine struct{ stash []byte }
+
+func (e *Engine) MulticastBatch(bufs [][]byte) {
+	for _, b := range bufs {
+		e.stash = b
+	}
+}
+`,
+	})
+	wantDiags(t, got, "transport/transport.go:7: buffer-ownership")
+}
+
+// TestBufferOwnershipHandlerLiteral: a func([]byte) literal wired in as a
+// handler callback is held to the same contract as a named handler.
+func TestBufferOwnershipHandlerLiteral(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"transport/transport.go": `package transport
+
+type Engine struct{ stash []byte }
+
+func Serve(h func([]byte)) {}
+
+func Wire(e *Engine) {
+	Serve(func(b []byte) {
+		e.stash = b
+	})
+}
+`,
+	})
+	wantDiags(t, got, "transport/transport.go:9: buffer-ownership")
+}

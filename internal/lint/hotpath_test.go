@@ -1,0 +1,159 @@
+package lint
+
+import "testing"
+
+// TestHotpathAllocPooledTransmitFixture mirrors the core.Sender pooled
+// transmit path: a //rmlint:hotpath root pulling frames from a free-list
+// pool. The injected pool-miss make is exactly the regression the rule
+// exists to catch — an allocation smuggled into a pinned zero-alloc path
+// through a same-module callee.
+func TestHotpathAllocPooledTransmitFixture(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"core/sender.go": `package core
+
+type bufPool struct{ free [][]byte }
+
+func (p *bufPool) get(n int) []byte {
+	if l := len(p.free); l > 0 {
+		b := p.free[l-1]
+		p.free = p.free[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+type Sender struct {
+	frames bufPool
+	out    func([]byte)
+}
+
+// transmit sends one frame drawn from the pool.
+//
+//rmlint:hotpath
+func (s *Sender) transmit(n int) {
+	frame := s.frames.get(n)
+	s.out(frame)
+}
+`,
+	})
+	wantDiags(t, got, "core/sender.go:13: hotpath-alloc")
+}
+
+// TestHotpathAllocDepthCap: callees past Config.HotpathDepth are not
+// walked silently — the rule reports the unexamined edge so the chain is
+// either annotated or explicitly pruned. Raising the depth reaches the
+// allocation itself.
+func TestHotpathAllocDepthCap(t *testing.T) {
+	files := map[string]string{
+		"deep/deep.go": `package deep
+
+//rmlint:hotpath
+func root() { c1() }
+
+func c1() { c2() }
+func c2() { c3() }
+func c3() { c4() }
+func c4() { c5() }
+func c5() { _ = make([]byte, 64) }
+`,
+	}
+	got := runFixture(t, Config{}, files)
+	wantDiags(t, got, "deep/deep.go:9: hotpath-alloc") // the c4 -> c5 edge
+	got = runFixture(t, Config{HotpathDepth: 6}, map[string]string{
+		"deep/deep.go": files["deep/deep.go"],
+	})
+	wantDiags(t, got, "deep/deep.go:10: hotpath-alloc") // the make itself
+}
+
+// TestHotpathAllocErrorAndPanicCarveOuts: allocations feeding an error
+// return or a panic message sit on cold exits and are not findings; the
+// steady-state allocation still is.
+func TestHotpathAllocErrorAndPanicCarveOuts(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"ec/ec.go": `package ec
+
+import "fmt"
+
+//rmlint:hotpath
+func Parse(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("empty: %d", len(b))
+	}
+	if b[0] == 0xff {
+		panic(fmt.Sprintf("bad marker %d", b[0]))
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+`,
+	})
+	wantDiags(t, got, "ec/ec.go:13: hotpath-alloc")
+}
+
+// TestHotpathAllocEdgePrune: an ignore directive on the call edge stops
+// the walk into an amortized allocator, and the directive counts as used
+// (no stale-ignore).
+func TestHotpathAllocEdgePrune(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"pr/pr.go": `package pr
+
+type C struct{ cache map[int][]byte }
+
+//rmlint:hotpath
+func (c *C) Hot(i int) []byte {
+	if b, ok := c.cache[i]; ok {
+		return b
+	}
+	//rmlint:ignore hotpath-alloc built once per key, then cached
+	return c.slow(i)
+}
+
+func (c *C) slow(i int) []byte {
+	b := make([]byte, i)
+	c.cache[i] = b
+	return b
+}
+`,
+	})
+	wantDiags(t, got)
+}
+
+// TestHotpathAllocInterfaceBoxing: passing a non-pointer value where the
+// callee takes an interface boxes it onto the heap; pointer arguments do
+// not.
+func TestHotpathAllocInterfaceBoxing(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"box/box.go": `package box
+
+//rmlint:hotpath
+func Hot(b []byte) {
+	n := len(b)
+	sink(n)
+	keep(&n)
+}
+
+func sink(v any)  {}
+func keep(p *int) {}
+`,
+	})
+	wantDiags(t, got, "box/box.go:6: hotpath-alloc")
+}
+
+// TestHotpathAllocClosure: a func literal in a hot body allocates its
+// closure object every pass.
+func TestHotpathAllocClosure(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"cl/cl.go": `package cl
+
+//rmlint:hotpath
+func Hot() int {
+	f := func() int { return 1 }
+	return f()
+}
+`,
+	})
+	wantDiags(t, got, "cl/cl.go:5: hotpath-alloc")
+}

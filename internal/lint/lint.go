@@ -19,13 +19,33 @@
 //   - doc-comment: packages under internal/ carry a package comment and
 //     doc comments on every exported declaration; the docs are where the
 //     paper's definitions are pinned to the code.
+//   - hotpath-alloc: functions annotated //rmlint:hotpath — the sender
+//     transmit, receiver decode, RSE reconstruction and gf256 kernel
+//     paths — and their same-module callees (to Config.HotpathDepth) must
+//     be allocation-free in steady state.
+//   - buffer-ownership: Env/udpcast handlers borrow their []byte argument
+//     for the duration of the call; storing, capturing, channel-sending or
+//     aliasing-by-append it is flagged unless the bytes are copied.
+//   - metrics-discipline: metrics.Registry series names are constant
+//     snake_case strings, one kind per name, and the derived static series
+//     set reconciles exactly against scripts/metrics_schema.txt.
+//
+// Every rule consumes one shared traversal (see pass.go), which builds the
+// function index, hotpath annotations, call sites, closure bindings,
+// handler signatures, and the ignore-directive index per Run.
 //
 // Findings can be suppressed line-by-line with
 //
 //	//rmlint:ignore <rule> <reason>
 //
 // placed on the offending line or the line directly above it. The reason is
-// mandatory; a directive without one is itself reported (rule bad-ignore).
+// mandatory; a directive without one is itself reported (rule bad-ignore),
+// and a directive that suppresses nothing is reported too (stale-ignore).
+// On a call line inside a hot path, the directive additionally prunes that
+// call edge from the hotpath-alloc walk — the audited escape hatch for
+// amortized allocators such as pool refills and inverse-cache fills.
+// Type-checker errors surface under the type-error rule; none of
+// bad-ignore, stale-ignore and type-error can be suppressed.
 //
 // The analyzer is stdlib-only: packages are loaded with go/parser and
 // type-checked with go/types, resolving module-internal imports from the
@@ -35,11 +55,14 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
 
-// Diagnostic is one finding, printed as "file:line: rule: message".
+// Diagnostic is one finding, printed as "file:line: rule: message". The
+// filename is module-relative, so output is stable across checkouts.
 type Diagnostic struct {
 	Pos  token.Position
 	Rule string
@@ -54,7 +77,8 @@ func (d Diagnostic) String() string {
 // Config selects which packages each rule applies to. Paths are
 // module-relative package directories ("internal/core"; "" is the module
 // root package). The zero Config applies env-discipline, no-goroutines and
-// float-eq nowhere; mutex-discipline and bad-ignore always run everywhere.
+// float-eq nowhere; mutex-discipline, hotpath-alloc, buffer-ownership,
+// metrics-discipline and the meta rules always run everywhere.
 type Config struct {
 	// EnvPackages are checked by env-discipline: the deterministic engine
 	// packages plus the Env implementations whose wall-clock use must be
@@ -70,6 +94,15 @@ type Config struct {
 	// match whole trees ("internal/" covers every internal package); other
 	// entries match one package directory exactly.
 	DocPackagePrefixes []string
+	// HotpathDepth bounds the hotpath-alloc call-graph walk: callees of an
+	// annotated function are analyzed this many edges deep. 0 means the
+	// default (4), which covers the longest engine chain
+	// (pump -> refill -> dataPacket -> frameFor -> bufPool.get).
+	HotpathDepth int
+	// MetricsSchemaFile is the module-relative path of the pinned static
+	// series set that metrics-discipline reconciles against; "" disables
+	// the reconciliation (name, kind and label checks still run).
+	MetricsSchemaFile string
 }
 
 // DefaultConfig returns the rule applicability for this repository.
@@ -106,6 +139,8 @@ func DefaultConfig() Config {
 		DocPackagePrefixes: []string{
 			"internal/",
 		},
+		HotpathDepth:      4,
+		MetricsSchemaFile: "scripts/metrics_schema.txt",
 	}
 }
 
@@ -118,46 +153,146 @@ func pathIn(rel string, set []string) bool {
 	return false
 }
 
-// Rule is one named invariant check.
+// Rule is one named invariant check. A rule inspects either one package at
+// a time (check) or the whole module at once (checkModule) — the latter
+// for rules whose facts span packages, like the hotpath call-graph walk
+// and the schema reconciliation.
 type Rule struct {
-	Name  string
-	Doc   string
-	check func(p *Package, cfg Config) []Diagnostic
+	Name    string
+	Doc     string
+	Explain string // long-form: what it proves, what it cannot, how to suppress
+
+	check       func(p *Package, cfg Config, fx *facts) []Diagnostic
+	checkModule func(cfg Config, fx *facts) []Diagnostic
 }
 
-// Rules returns every rule rmlint enforces, in reporting order.
+// Rules returns every suppressible rule rmlint enforces, in reporting
+// order. The meta findings (bad-ignore, stale-ignore, type-error) are not
+// rules in this list: they cannot be suppressed.
 func Rules() []Rule {
 	return []Rule{
 		{
-			Name:  "env-discipline",
-			Doc:   "engine packages take time and randomness only from core.Env (no time.Now/Sleep/After, no global math/rand)",
-			check: checkEnvDiscipline,
+			Name: "env-discipline",
+			Doc:  "engine packages take time and randomness only from core.Env (no time.Now/Sleep/After, no global math/rand)",
+			Explain: `Proves: no configured engine package reads the wall clock (time.Now,
+Since, Until, Sleep, After, Tick, New{Ticker,Timer}, AfterFunc) or draws
+from the global math/rand source, so a seed fully determines a run.
+Cannot prove: indirect reads through function values or dependencies
+outside the module. Suppress on annotated wall-clock Env implementations
+with //rmlint:ignore env-discipline <reason>.`,
+			check: func(p *Package, cfg Config, fx *facts) []Diagnostic { return checkEnvDiscipline(p, cfg) },
 		},
 		{
-			Name:  "no-goroutines",
-			Doc:   "engine packages contain no go statements; concurrency belongs to transports",
-			check: checkNoGoroutines,
+			Name: "no-goroutines",
+			Doc:  "engine packages contain no go statements; concurrency belongs to transports",
+			Explain: `Proves: the configured engine packages contain no go statement, so
+engine state needs no locks and replays deterministically. Cannot prove:
+goroutines started on the engines' behalf by other packages (that is the
+sanctioned pattern: udpcast, mcrun, pipeline own the concurrency).`,
+			check: func(p *Package, cfg Config, fx *facts) []Diagnostic { return checkNoGoroutines(p, cfg) },
 		},
 		{
-			Name:  "float-eq",
-			Doc:   "no ==/!= between non-constant floating-point expressions in model/numeric/figures",
-			check: checkFloatEq,
+			Name: "float-eq",
+			Doc:  "no ==/!= between non-constant floating-point expressions in model/numeric/figures",
+			Explain: `Proves: the configured numeric packages never compare two computed
+floats for exact equality; comparisons against constants (p == 0 sentinel
+guards) stay legal. Cannot prove: equality hidden behind interface
+comparisons or reflect.`,
+			check: func(p *Package, cfg Config, fx *facts) []Diagnostic { return checkFloatEq(p, cfg) },
 		},
 		{
-			Name:  "mutex-discipline",
-			Doc:   "no call to a mu-locking method of the same receiver while mu may already be held",
-			check: checkMutexDiscipline,
+			Name: "mutex-discipline",
+			Doc:  "no call to a mu-locking method of the same receiver while mu may already be held",
+			Explain: `Proves: no method of a receiver calls another method of the same
+receiver that locks the same mu field on a path where mu may already be
+held (self-deadlock). Cannot prove: deadlocks across distinct mutexes or
+through interfaces.`,
+			check: func(p *Package, cfg Config, fx *facts) []Diagnostic { return checkMutexDiscipline(p, cfg) },
 		},
 		{
-			Name:  "doc-comment",
-			Doc:   "documented packages carry a package comment and doc comments on every exported declaration",
-			check: checkDocComments,
+			Name: "doc-comment",
+			Doc:  "documented packages carry a package comment and doc comments on every exported declaration",
+			Explain: `Proves: every package under the configured prefixes has a package
+comment and every exported declaration a doc comment — the place where
+the paper's definitions are pinned to code. Cannot prove: that the
+comments are accurate.`,
+			check: func(p *Package, cfg Config, fx *facts) []Diagnostic { return checkDocComments(p, cfg) },
+		},
+		{
+			Name: "hotpath-alloc",
+			Doc:  "//rmlint:hotpath functions and their same-module callees are allocation-free in steady state",
+			Explain: `Proves: no function reachable from a //rmlint:hotpath annotation
+(breadth-first over same-module calls, to Config.HotpathDepth) contains
+an allocation site: make/new, append, slice/map composite literals,
+&composite literals, closures, string concatenation or conversion, direct
+fmt formatting, go statements, or interface boxing of non-pointer
+arguments. Expressions inside return statements of error-returning
+functions and panic arguments are cold and exempt. Cannot prove: calls
+through interfaces or func values (annotate the implementations), map
+growth on assignment, or allocations inside the standard library.
+Suppress audited amortized allocators with //rmlint:ignore hotpath-alloc
+<reason>; on a call line the directive also prunes the callee's subtree
+from the walk.`,
+			checkModule: checkHotpathAlloc,
+		},
+		{
+			Name: "buffer-ownership",
+			Doc:  "Env/udpcast handlers must not retain their []byte argument without an explicit copy",
+			Explain: `Proves: a HandlePacket/Multicast/MulticastControl/MulticastBatch body
+(or a func([]byte) handler literal) never stores its buffer parameter to
+a field, global, channel or goroutine, never returns it, never captures
+it in a closure that may outlive the call, and never appends the slice
+itself to another slice — only its bytes (append(dst, b...) into []byte,
+or copy). Tracking is local: the parameter and its direct slice aliases.
+Cannot prove: aliases created inside callees (a decode that retains a
+sub-slice) or stores via reflection. Suppress with
+//rmlint:ignore buffer-ownership <reason> where a copy is proven
+elsewhere.`,
+			checkModule: checkBufferOwnership,
+		},
+		{
+			Name: "metrics-discipline",
+			Doc:  "metrics series names are constant snake_case literals, one kind per name, reconciled against scripts/metrics_schema.txt",
+			Explain: `Proves: every metrics.Registry Counter/Gauge/Histogram registration
+uses a constant snake_case name (never computed), literal label keys, and
+label values that resolve to string constants (directly or through
+helper parameters fed only literals at every call site); one name keeps
+one instrument kind; and the full derived series set equals the pinned
+schema file byte-for-byte, in both directions. Cannot prove: names built
+via reflection or registries hidden behind interfaces. Regenerate the
+schema with rmlint -metrics-schema; there is deliberately no suppression
+story for schema drift.`,
+			checkModule: checkMetricsDiscipline,
 		},
 	}
 }
 
-// knownRule reports whether name is a rule rmlint knows about, so
-// misspelled ignore directives do not silently suppress nothing.
+// metaExplains documents the findings rmlint emits about itself; they are
+// not suppressible and so are not Rules.
+var metaExplains = map[string]string{
+	"bad-ignore": `A //rmlint:ignore directive that names no rule, an unknown rule, or
+gives no reason. Not suppressible.`,
+	"stale-ignore": `A well-formed //rmlint:ignore directive that suppressed nothing on its
+own or the next line (and pruned no hotpath edge). Stale suppressions hide
+future regressions; remove them. Not suppressible.`,
+	"type-error": `The type checker rejected a package. Rules still run on the parsed
+AST, degraded to syntactic matching, but findings are unreliable until the
+tree type-checks. Not suppressible.`,
+}
+
+// Explain returns the long-form description of a rule or meta finding.
+func Explain(name string) (string, bool) {
+	for _, r := range Rules() {
+		if r.Name == name {
+			return r.Doc + "\n\n" + r.Explain, true
+		}
+	}
+	e, ok := metaExplains[name]
+	return e, ok
+}
+
+// knownRule reports whether name is a suppressible rule, so misspelled
+// ignore directives do not silently suppress nothing.
 func knownRule(name string) bool {
 	for _, r := range Rules() {
 		if r.Name == name {
@@ -167,22 +302,43 @@ func knownRule(name string) bool {
 	return false
 }
 
-// Run applies every rule to every package and returns the surviving
-// findings sorted by position. Suppressed findings are dropped; malformed
-// or unknown ignore directives are reported under the bad-ignore rule.
-func Run(pkgs []*Package, cfg Config) []Diagnostic {
-	var out []Diagnostic
-	for _, p := range pkgs {
-		ig, igDiags := parseIgnores(p)
-		out = append(out, igDiags...)
-		for _, r := range Rules() {
-			for _, d := range r.check(p, cfg) {
-				if ig.suppressed(d) {
-					continue
-				}
-				out = append(out, d)
+// Run builds the shared fact store over the whole module, applies every
+// rule, and returns the surviving findings sorted by position. Suppressed
+// findings are dropped; malformed, unknown or unused ignore directives are
+// reported (bad-ignore, stale-ignore), and type-checker failures surface
+// as type-error findings. Positions are module-relative.
+//
+// Run always analyzes the full module even when a caller only displays a
+// subset: stale-ignore and the metrics schema reconciliation are only
+// sound with the whole call graph in view.
+func Run(mod *Module, cfg Config) []Diagnostic {
+	fx := buildFacts(mod)
+	out := append([]Diagnostic(nil), fx.badIgnores...)
+	for _, p := range mod.Pkgs {
+		for _, err := range p.TypeErrors {
+			out = append(out, typeErrorDiag(err))
+		}
+	}
+	for _, r := range Rules() {
+		var found []Diagnostic
+		if r.check != nil {
+			for _, p := range mod.Pkgs {
+				found = append(found, r.check(p, cfg, fx)...)
 			}
 		}
+		if r.checkModule != nil {
+			found = append(found, r.checkModule(cfg, fx)...)
+		}
+		for _, d := range found {
+			if fx.suppress(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	out = append(out, fx.staleIgnores()...)
+	for i := range out {
+		out[i].Pos.Filename = moduleRelPath(mod.Root, out[i].Pos.Filename)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -192,63 +348,31 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return out
 }
 
-// ignoreSet records, per file and line, which rules are suppressed. A
-// directive suppresses its own line (trailing comment) and the line
-// directly below it (standalone comment above the offending statement).
-type ignoreSet map[string]map[int]map[string]bool
-
-func (ig ignoreSet) add(pos token.Position, rule string) {
-	lines := ig[pos.Filename]
-	if lines == nil {
-		lines = make(map[int]map[string]bool)
-		ig[pos.Filename] = lines
+// typeErrorDiag converts one type-checker complaint into a finding.
+func typeErrorDiag(err error) Diagnostic {
+	if te, ok := err.(types.Error); ok {
+		return Diagnostic{te.Fset.Position(te.Pos), "type-error", te.Msg}
 	}
-	for _, line := range []int{pos.Line, pos.Line + 1} {
-		if lines[line] == nil {
-			lines[line] = make(map[string]bool)
-		}
-		lines[line][rule] = true
-	}
+	return Diagnostic{token.Position{}, "type-error", err.Error()}
 }
 
-func (ig ignoreSet) suppressed(d Diagnostic) bool {
-	return ig[d.Pos.Filename][d.Pos.Line][d.Rule]
-}
-
-const ignorePrefix = "//rmlint:ignore"
-
-// parseIgnores scans a package's comments for //rmlint:ignore directives.
-func parseIgnores(p *Package) (ignoreSet, []Diagnostic) {
-	ig := make(ignoreSet)
-	var diags []Diagnostic
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
-				switch {
-				case len(fields) == 0:
-					diags = append(diags, Diagnostic{pos, "bad-ignore",
-						"ignore directive names no rule; use //rmlint:ignore <rule> <reason>"})
-				case !knownRule(fields[0]):
-					diags = append(diags, Diagnostic{pos, "bad-ignore",
-						fmt.Sprintf("unknown rule %q in ignore directive", fields[0])})
-				case len(fields) == 1:
-					diags = append(diags, Diagnostic{pos, "bad-ignore",
-						fmt.Sprintf("ignore directive for %s has no reason; say why the invariant does not apply", fields[0])})
-				default:
-					ig.add(pos, fields[0])
-				}
-			}
-		}
+// moduleRelPath strips the module root from an absolute filename so
+// diagnostics are stable across checkouts; already-relative names (the
+// loader's display names, the schema file) pass through.
+func moduleRelPath(root, name string) string {
+	if name == "" || !filepath.IsAbs(name) {
+		return name
 	}
-	return ig, diags
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
 }

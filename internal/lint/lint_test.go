@@ -7,9 +7,9 @@ import (
 	"testing"
 )
 
-// runFixture writes a synthetic module into a temp dir, loads it, and runs
-// every rule under cfg. Keys of files are module-relative paths.
-func runFixture(t *testing.T, cfg Config, files map[string]string) []Diagnostic {
+// writeFixture writes a synthetic module into a temp dir and returns its
+// root. Keys of files are module-relative paths.
+func writeFixture(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
 	files["go.mod"] = "module fixture\n\ngo 1.22\n"
@@ -22,11 +22,18 @@ func runFixture(t *testing.T, cfg Config, files map[string]string) []Diagnostic 
 			t.Fatal(err)
 		}
 	}
-	mod, err := LoadModule(dir)
+	return dir
+}
+
+// runFixture writes a synthetic module, loads it, and runs every rule
+// under cfg.
+func runFixture(t *testing.T, cfg Config, files map[string]string) []Diagnostic {
+	t.Helper()
+	mod, err := LoadModule(writeFixture(t, files))
 	if err != nil {
 		t.Fatalf("LoadModule: %v", err)
 	}
-	return Run(mod.Pkgs, cfg)
+	return Run(mod, cfg)
 }
 
 // wantDiags asserts the exact set of findings as "file:line: rule" strings.
@@ -299,7 +306,12 @@ func Wall(ch chan int) time.Time {
 }
 `,
 	})
-	wantDiags(t, got, "engine/engine.go:7: env-discipline")
+	// The directive targets the wrong rule, so the finding survives — and
+	// the directive itself, having suppressed nothing, is stale.
+	wantDiags(t, got,
+		"engine/engine.go:6: stale-ignore",
+		"engine/engine.go:7: env-discipline",
+	)
 }
 
 func TestBadIgnoreDirectives(t *testing.T) {

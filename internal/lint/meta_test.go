@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStaleIgnoreDirective: a directive whose rule produces no finding on
+// its line is itself a finding, so audited exceptions cannot outlive the
+// code they excused.
+func TestStaleIgnoreDirective(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+func Fine() int {
+	//rmlint:ignore env-discipline nothing here needs excusing
+	return 1
+}
+`,
+	})
+	wantDiags(t, got, "engine/engine.go:4: stale-ignore")
+}
+
+// TestTypeErrorSurfaces: a tree the type checker rejects can never lint
+// clean — soft type errors become type-error findings.
+func TestTypeErrorSurfaces(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"bad/bad.go": `package bad
+
+var X int = "not an int"
+`,
+	})
+	wantDiags(t, got, "bad/bad.go:3: type-error")
+}
+
+// TestDiagnosticPositionsModuleRelative: findings carry slash-separated
+// module-relative paths regardless of where the module sits on disk.
+func TestDiagnosticPositionsModuleRelative(t *testing.T) {
+	got := runFixture(t, engineCfg(), map[string]string{
+		"engine/engine.go": `package engine
+
+import "time"
+
+func Wall() time.Time { return time.Now() }
+`,
+	})
+	wantDiags(t, got, "engine/engine.go:5: env-discipline")
+	for _, d := range got {
+		if filepath.IsAbs(d.Pos.Filename) || strings.Contains(d.Pos.Filename, `\`) {
+			t.Errorf("position %q is not a module-relative slash path", d.Pos.Filename)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import "testing"
+
+// metricsStub is a fixture copy of the real registry surface: the rule
+// matches any named type Registry in a package named metrics, so tests do
+// not need the real package.
+const metricsStub = `// Package metrics is a fixture stub of the registry API.
+package metrics
+
+type Label struct{ Key, Value string }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) int { return 0 }
+
+func (r *Registry) Gauge(name, help string, labels ...Label) int { return 0 }
+
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) int {
+	return 0
+}
+`
+
+// TestMetricsDisciplineNamesKindsAndLabels: computed names, non-snake
+// names, one name registered as two kinds, and a label value the resolver
+// cannot pin to constants are each findings.
+func TestMetricsDisciplineNamesKindsAndLabels(t *testing.T) {
+	got := runFixture(t, Config{}, map[string]string{
+		"metrics/metrics.go": metricsStub,
+		"app/app.go": `package app
+
+import "fixture/metrics"
+
+var suffix = "x"
+
+func Register(r *metrics.Registry, kind string) {
+	r.Counter("tx_"+suffix, "computed")
+	r.Counter("BadName", "case")
+	r.Counter("dup_total", "first")
+	r.Gauge("dup_total", "second")
+	r.Counter("lbl_total", "l", metrics.Label{Key: "kind", Value: kind})
+}
+`,
+	})
+	wantDiags(t, got,
+		"app/app.go:8: metrics-discipline",
+		"app/app.go:9: metrics-discipline",
+		"app/app.go:11: metrics-discipline",
+		"app/app.go:12: metrics-discipline",
+	)
+}
+
+// TestMetricsDisciplineSchemaReconciliation: a registered series missing
+// from the pinned schema points at the registration; a pinned series no
+// registration derives points at the schema line. A label fed through a
+// helper parameter resolves across call sites (tx(r, "data") / "parity").
+func TestMetricsDisciplineSchemaReconciliation(t *testing.T) {
+	got := runFixture(t, Config{MetricsSchemaFile: "schema.txt"}, map[string]string{
+		"metrics/metrics.go": metricsStub,
+		"app/app.go": `package app
+
+import "fixture/metrics"
+
+func tx(r *metrics.Registry, kind string) {
+	r.Counter("tx_total", "transmissions", metrics.Label{Key: "kind", Value: kind})
+}
+
+func Register(r *metrics.Registry) {
+	tx(r, "data")
+	tx(r, "parity")
+	r.Counter("extra_total", "unpinned")
+}
+`,
+		"schema.txt": "phantom_total\ntx_total{kind=\"data\"}\ntx_total{kind=\"parity\"}\n",
+	})
+	wantDiags(t, got,
+		"app/app.go:12: metrics-discipline", // extra_total not pinned
+		"schema.txt:1: metrics-discipline",  // phantom_total not derived
+	)
+}
+
+// TestMetricsSchemaDerivation: the exported derivation used by
+// `rmlint -metrics-schema` expands label cross products in the registry's
+// own rendering and sorted order.
+func TestMetricsSchemaDerivation(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"metrics/metrics.go": metricsStub,
+		"app/app.go": `package app
+
+import "fixture/metrics"
+
+func Register(r *metrics.Registry) {
+	r.Counter("a_total", "a")
+	r.Gauge("depth", "d")
+	r.Counter("tx_total", "t", metrics.Label{Key: "kind", Value: "data"})
+	r.Counter("tx_total", "t", metrics.Label{Key: "kind", Value: "parity"})
+}
+`,
+	})
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	schema, diags := MetricsSchema(mod)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	want := []string{"a_total", "depth", `tx_total{kind="data"}`, `tx_total{kind="parity"}`}
+	if len(schema) != len(want) {
+		t.Fatalf("schema = %v, want %v", schema, want)
+	}
+	for i := range want {
+		if schema[i] != want[i] {
+			t.Errorf("schema[%d] = %q, want %q", i, schema[i], want[i])
+		}
+	}
+}

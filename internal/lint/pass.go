@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathMarker is the annotation that roots a hotpath-alloc walk: a
+// function whose doc comment contains it (and its same-module callees, to
+// Config.HotpathDepth) must be allocation-free in steady state.
+const hotpathMarker = "//rmlint:hotpath"
+
+// funcInfo ties one declared function to its package, AST and type object.
+type funcInfo struct {
+	pkg     *Package
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	hotpath bool
+}
+
+// callSite is one static call expression plus the package whose type info
+// resolves its arguments.
+type callSite struct {
+	pkg  *Package
+	call *ast.CallExpr
+}
+
+// handlerUnit is one function body bound by the Env buffer-ownership
+// contract: its []byte (or [][]byte) parameters borrow the caller's buffer
+// for the duration of the call only.
+type handlerUnit struct {
+	pkg    *Package
+	name   string
+	body   *ast.BlockStmt
+	params []types.Object
+	pos    token.Pos
+}
+
+// ignoreEntry is one parsed //rmlint:ignore directive. used flips when the
+// directive suppresses a finding (or prunes a hotpath edge); directives
+// that stay unused are themselves reported under stale-ignore.
+type ignoreEntry struct {
+	pos  token.Position
+	rule string
+	used bool
+}
+
+// facts is the module-wide fact store every rule consumes: the function
+// index with hotpath annotations, closure bindings and call sites (the
+// call graph), handler signatures, and the ignore-directive index. It is
+// built in one shared traversal per Run.
+type facts struct {
+	mod   *Module
+	funcs map[*types.Func]*funcInfo
+
+	// Closure bindings: local variable -> the func literal assigned to it,
+	// and the reverse, so label values flowing through helper closures
+	// (tx := func(kind string) ... ; tx("data")) resolve statically.
+	litOf    map[types.Object]*ast.FuncLit
+	varOfLit map[*ast.FuncLit]types.Object
+
+	// Parameter ownership: parameter object -> the callable declaring it.
+	paramFunc map[types.Object]*types.Func
+	paramLit  map[types.Object]*ast.FuncLit
+
+	// Call sites indexed by callee: declared functions/methods, and
+	// closure-bound variables (calls spelled through the variable).
+	callsOfFunc map[*types.Func][]callSite
+	callsOfVar  map[types.Object][]callSite
+
+	handlers []handlerUnit
+
+	// ignores[file][line][rule] holds the directives covering that line (a
+	// directive covers its own line and the next).
+	ignores    map[string]map[int]map[string][]*ignoreEntry
+	allIgnores []*ignoreEntry
+	badIgnores []Diagnostic
+}
+
+// buildFacts runs the shared traversal over every package of the module.
+func buildFacts(mod *Module) *facts {
+	fx := &facts{
+		mod:         mod,
+		funcs:       make(map[*types.Func]*funcInfo),
+		litOf:       make(map[types.Object]*ast.FuncLit),
+		varOfLit:    make(map[*ast.FuncLit]types.Object),
+		paramFunc:   make(map[types.Object]*types.Func),
+		paramLit:    make(map[types.Object]*ast.FuncLit),
+		callsOfFunc: make(map[*types.Func][]callSite),
+		callsOfVar:  make(map[types.Object][]callSite),
+		ignores:     make(map[string]map[int]map[string][]*ignoreEntry),
+	}
+	for _, p := range mod.Pkgs {
+		fx.parseIgnores(p)
+		for _, f := range p.Files {
+			fx.collect(p, f)
+		}
+	}
+	return fx
+}
+
+// collect indexes one file: declared functions (with hotpath annotations
+// and handler signatures), closure bindings, and every call site.
+func (fx *facts) collect(p *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			obj, _ := p.Info.Defs[x.Name].(*types.Func)
+			if obj != nil {
+				fx.funcs[obj] = &funcInfo{pkg: p, decl: x, obj: obj, hotpath: hasHotpathMarker(x.Doc)}
+				fx.recordParams(p, x.Type, func(o types.Object) { fx.paramFunc[o] = obj })
+			}
+			if x.Body != nil {
+				fx.maybeHandlerDecl(p, x)
+			}
+		case *ast.FuncLit:
+			fx.recordParams(p, x.Type, func(o types.Object) { fx.paramLit[o] = x })
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, rhs := range x.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if id, ok := x.Lhs[i].(*ast.Ident); ok {
+						fx.bindLit(p, id, lit)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i, v := range x.Values {
+					if lit, ok := v.(*ast.FuncLit); ok {
+						fx.bindLit(p, x.Names[i], lit)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fx.indexCall(p, x)
+		}
+		return true
+	})
+}
+
+// bindLit associates a variable with the func literal assigned to it.
+func (fx *facts) bindLit(p *Package, id *ast.Ident, lit *ast.FuncLit) {
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	fx.litOf[obj] = lit
+	fx.varOfLit[lit] = obj
+}
+
+// indexCall records the call under its statically resolved callee and
+// registers func-literal handler arguments (func([]byte) callbacks handed
+// to Serve/SetHandler-style registration points).
+func (fx *facts) indexCall(p *Package, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := p.Info.Uses[fun].(type) {
+		case *types.Func:
+			fx.callsOfFunc[obj] = append(fx.callsOfFunc[obj], callSite{p, call})
+		case *types.Var:
+			fx.callsOfVar[obj] = append(fx.callsOfVar[obj], callSite{p, call})
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			fx.callsOfFunc[obj] = append(fx.callsOfFunc[obj], callSite{p, call})
+		}
+	}
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok || lit.Body == nil {
+			continue
+		}
+		if params := fx.byteHandlerParams(p, lit.Type); len(params) == 1 && lit.Type.Results.NumFields() == 0 {
+			fx.handlers = append(fx.handlers, handlerUnit{
+				pkg: p, name: "handler literal", body: lit.Body, params: params, pos: lit.Pos(),
+			})
+		}
+	}
+}
+
+// handlerNames are the method/function names bound by the Env contract:
+// packet handlers receive the transport's read buffer, Multicast* receive
+// the engine's pooled frames. Neither side may retain the slice.
+var handlerNames = map[string]bool{
+	"HandlePacket":     true,
+	"Multicast":        true,
+	"MulticastControl": true,
+	"MulticastBatch":   true,
+}
+
+// maybeHandlerDecl registers a declared function as a buffer-ownership
+// unit when its name and signature match the Env contract surface.
+func (fx *facts) maybeHandlerDecl(p *Package, decl *ast.FuncDecl) {
+	if !handlerNames[decl.Name.Name] {
+		return
+	}
+	params := fx.byteHandlerParams(p, decl.Type)
+	if len(params) == 0 {
+		return
+	}
+	name := decl.Name.Name
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		name = recvTypeString(decl.Recv.List[0].Type) + "." + name
+	}
+	fx.handlers = append(fx.handlers, handlerUnit{
+		pkg: p, name: name, body: decl.Body, params: params, pos: decl.Pos(),
+	})
+}
+
+// byteHandlerParams returns the parameter objects of ft whose type is
+// []byte or [][]byte.
+func (fx *facts) byteHandlerParams(p *Package, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj != nil && isByteSliceish(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// isByteSliceish reports whether t is []byte or [][]byte.
+func isByteSliceish(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if isByteSlice(s.Elem()) {
+		return true
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// recordParams feeds each named parameter object of ft to record.
+func (fx *facts) recordParams(p *Package, ft *ast.FuncType, record func(types.Object)) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				record(obj)
+			}
+		}
+	}
+}
+
+// hasHotpathMarker reports whether a doc comment carries //rmlint:hotpath.
+func hasHotpathMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == hotpathMarker || strings.HasPrefix(c.Text, hotpathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//rmlint:ignore"
+
+// parseIgnores scans a package's comments for //rmlint:ignore directives,
+// indexing well-formed ones (a directive covers its own line and the line
+// below) and reporting malformed ones under bad-ignore.
+func (fx *facts) parseIgnores(p *Package) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				switch {
+				case len(fields) == 0:
+					fx.badIgnores = append(fx.badIgnores, Diagnostic{pos, "bad-ignore",
+						"ignore directive names no rule; use //rmlint:ignore <rule> <reason>"})
+				case !knownRule(fields[0]):
+					fx.badIgnores = append(fx.badIgnores, Diagnostic{pos, "bad-ignore",
+						fmt.Sprintf("unknown rule %q in ignore directive", fields[0])})
+				case len(fields) == 1:
+					fx.badIgnores = append(fx.badIgnores, Diagnostic{pos, "bad-ignore",
+						fmt.Sprintf("ignore directive for %s has no reason; say why the invariant does not apply", fields[0])})
+				default:
+					e := &ignoreEntry{pos: pos, rule: fields[0]}
+					fx.allIgnores = append(fx.allIgnores, e)
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						lines := fx.ignores[pos.Filename]
+						if lines == nil {
+							lines = make(map[int]map[string][]*ignoreEntry)
+							fx.ignores[pos.Filename] = lines
+						}
+						if lines[line] == nil {
+							lines[line] = make(map[string][]*ignoreEntry)
+						}
+						lines[line][fields[0]] = append(lines[line][fields[0]], e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// suppress reports whether d is covered by an ignore directive, marking
+// every covering directive used.
+func (fx *facts) suppress(d Diagnostic) bool {
+	return fx.useIgnore(d.Pos, d.Rule)
+}
+
+// useIgnore marks (and reports) any directive for rule covering pos. The
+// hotpath walk also calls it on call lines to prune audited cold edges.
+func (fx *facts) useIgnore(pos token.Position, rule string) bool {
+	es := fx.ignores[pos.Filename][pos.Line][rule]
+	if len(es) == 0 {
+		return false
+	}
+	for _, e := range es {
+		e.used = true
+	}
+	return true
+}
+
+// hasIgnore reports whether a directive for rule covers pos without
+// consuming it.
+func (fx *facts) hasIgnore(pos token.Position, rule string) bool {
+	return len(fx.ignores[pos.Filename][pos.Line][rule]) > 0
+}
+
+// staleIgnores reports every directive that suppressed nothing.
+func (fx *facts) staleIgnores() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range fx.allIgnores {
+		if !e.used {
+			out = append(out, Diagnostic{e.pos, "stale-ignore",
+				fmt.Sprintf("ignore directive for %s suppresses nothing on this or the next line; remove it", e.rule)})
+		}
+	}
+	return out
+}
+
+// stringValues statically resolves e to its possible string values. It
+// folds constants first; a parameter resolves through every static call
+// site of its declaring function or closure-bound literal, to bounded
+// depth. The bool result is false when any path fails to resolve.
+func (fx *facts) stringValues(p *Package, e ast.Expr, depth int) ([]string, bool) {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return []string{constant.StringVal(tv.Value)}, true
+	}
+	if depth <= 0 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	var sites []callSite
+	idx := -1
+	switch {
+	case fx.paramFunc[obj] != nil:
+		fn := fx.paramFunc[obj]
+		sites = fx.callsOfFunc[fn]
+		idx = paramIndexOfFunc(fn, obj)
+	case fx.paramLit[obj] != nil:
+		lit := fx.paramLit[obj]
+		bound := fx.varOfLit[lit]
+		if bound == nil {
+			return nil, false
+		}
+		sites = fx.callsOfVar[bound]
+		idx = paramIndexOfLit(fx, lit, obj)
+	default:
+		return nil, false
+	}
+	if idx < 0 || len(sites) == 0 {
+		return nil, false
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range sites {
+		if s.call.Ellipsis.IsValid() || idx >= len(s.call.Args) {
+			return nil, false
+		}
+		vs, ok := fx.stringValues(s.pkg, s.call.Args[idx], depth-1)
+		if !ok {
+			return nil, false
+		}
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out, true
+}
+
+// paramIndexOfFunc returns obj's position in fn's parameter list.
+func paramIndexOfFunc(fn *types.Func, obj types.Object) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// paramIndexOfLit returns obj's position in a func literal's parameters.
+func paramIndexOfLit(fx *facts, lit *ast.FuncLit, obj types.Object) int {
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if fx.paramLit[obj] == lit && name.Name == obj.Name() && name.Pos() == obj.Pos() {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}
+
+// recvTypeString renders a receiver type expression ("*Sender" -> "(*Sender)").
+func recvTypeString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvBase(x.X) + ")"
+	default:
+		return recvBase(e)
+	}
+}
+
+func recvBase(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr:
+		return recvBase(x.X)
+	case *ast.IndexListExpr:
+		return recvBase(x.X)
+	default:
+		return "?"
+	}
+}
+
+// funcDisplay renders a function's qualified name with the module path
+// stripped ("(*internal/core.Sender).pump").
+func funcDisplay(mod *Module, obj *types.Func) string {
+	return strings.ReplaceAll(obj.FullName(), mod.Path+"/", "")
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkBufferOwnership enforces the Env borrowing contract on every
+// handler unit the shared pass discovered (HandlePacket, Multicast,
+// MulticastControl, MulticastBatch, and func([]byte) handler literals):
+// the []byte parameter is valid only for the duration of the call, so it
+// must not be stored to a field or global, captured by a closure that may
+// outlive the call, sent on a channel, appended (aliased) into a slice,
+// or returned. Passing the buffer onward as a plain call argument is a
+// borrow and stays legal, as does copying its bytes (copy, or
+// append(dst, b...) into a []byte).
+//
+// The analysis is local and tracks direct aliases (x := b, x := b[i:j],
+// range over a tracked [][]byte); aliases created inside callees — e.g. a
+// decode that retains a sub-slice — are out of scope and covered by the
+// callees' own contracts.
+func checkBufferOwnership(cfg Config, fx *facts) []Diagnostic {
+	var diags []Diagnostic
+	for _, h := range fx.handlers {
+		diags = append(diags, analyzeHandler(h)...)
+	}
+	return diags
+}
+
+// analyzeHandler walks one handler body in source order, growing and
+// shrinking the tracked alias set as it goes.
+func analyzeHandler(h handlerUnit) []Diagnostic {
+	w := &bufWalk{h: h, tracked: make(map[types.Object]bool)}
+	for _, p := range h.params {
+		w.tracked[p] = true
+	}
+	// Immediately-invoked literals execute within the call; they are not
+	// escapes.
+	w.invoked = make(map[*ast.FuncLit]bool)
+	ast.Inspect(h.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				w.invoked[lit] = true
+			}
+		}
+		return true
+	})
+	w.walk(h.body)
+	return w.diags
+}
+
+// bufWalk is the per-handler escape analysis state.
+type bufWalk struct {
+	h       handlerUnit
+	tracked map[types.Object]bool
+	invoked map[*ast.FuncLit]bool
+	diags   []Diagnostic
+}
+
+func (w *bufWalk) flag(n ast.Node, what string) {
+	w.diags = append(w.diags, Diagnostic{
+		Pos:  w.h.pkg.Fset.Position(n.Pos()),
+		Rule: "buffer-ownership",
+		Msg:  fmt.Sprintf("%s %s; the Env contract requires an explicit copy before retaining a handler buffer", w.h.name, what),
+	})
+}
+
+// isTracked reports whether e aliases a tracked buffer: the parameter
+// itself or a slice expression over it.
+func (w *bufWalk) isTracked(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.h.pkg.Info.Uses[x]
+		return obj != nil && w.tracked[obj]
+	case *ast.SliceExpr:
+		return w.isTracked(x.X)
+	}
+	return false
+}
+
+func (w *bufWalk) walk(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.RangeStmt:
+			if w.isTracked(x.X) {
+				if id, ok := x.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj := w.h.pkg.Info.Defs[id]; obj != nil {
+						w.tracked[obj] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if w.isTracked(x.Value) {
+				w.flag(x, "sends a handler buffer on a channel")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if w.isTracked(res) {
+					w.flag(res, "returns a handler buffer")
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range x.Call.Args {
+				if w.isTracked(arg) {
+					w.flag(arg, "passes a handler buffer to a goroutine")
+				}
+			}
+		case *ast.FuncLit:
+			if !w.invoked[x] && w.captures(x) {
+				w.flag(x, "captures a handler buffer in a closure that may outlive the call")
+			}
+			return true
+		case *ast.CallExpr:
+			w.call(x)
+		}
+		return true
+	})
+}
+
+// assign handles alias creation, alias invalidation, and stores to
+// anything longer-lived than a local.
+func (w *bufWalk) assign(x *ast.AssignStmt) {
+	if len(x.Lhs) != len(x.Rhs) {
+		return // tuple assignment from a call: nothing tracked flows through
+	}
+	for i, lhs := range x.Lhs {
+		rhs := x.Rhs[i]
+		if w.isTracked(rhs) {
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				if l.Name == "_" {
+					continue
+				}
+				obj := w.h.pkg.Info.Defs[l]
+				if obj == nil {
+					obj = w.h.pkg.Info.Uses[l]
+				}
+				if obj == nil {
+					continue
+				}
+				if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Pkg() != nil && !isPackageLevel(v) {
+					w.tracked[obj] = true
+				} else {
+					w.flag(lhs, "stores a handler buffer in a package-level variable")
+				}
+			default:
+				// Field, index or dereference target: the buffer outlives
+				// the call through whatever owns that memory.
+				w.flag(lhs, "stores a handler buffer outside the call frame")
+			}
+			continue
+		}
+		// Reassigning a tracked variable to something untracked (e.g. an
+		// explicit copy) ends tracking for it.
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := w.h.pkg.Info.Uses[id]; obj != nil && w.tracked[obj] {
+				delete(w.tracked, obj)
+			}
+		}
+	}
+}
+
+// call flags aliasing appends. append(dst, b...) where b is []byte copies
+// bytes and is the sanctioned idiom; append(dst, b) (or spreading a
+// tracked [][]byte) retains the slice header.
+func (w *bufWalk) call(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := w.h.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	for i, arg := range call.Args {
+		if i == 0 || !w.isTracked(arg) {
+			continue
+		}
+		spread := call.Ellipsis.IsValid() && i == len(call.Args)-1
+		if spread {
+			if tv, ok := w.h.pkg.Info.Types[arg]; ok && isByteSlice(tv.Type) {
+				continue // byte-wise copy
+			}
+			w.flag(arg, "spreads handler buffers into a slice")
+			continue
+		}
+		w.flag(arg, "appends a handler buffer to a slice (the slice retains the alias)")
+	}
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// captures reports whether lit references any tracked object.
+func (w *bufWalk) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.h.pkg.Info.Uses[id]; obj != nil && w.tracked[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

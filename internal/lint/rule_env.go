@@ -85,6 +85,9 @@ func pkgPathOfIdent(p *Package, f *ast.File, id *ast.Ident) string {
 		}
 		return "" // a local variable or type shadows the package name
 	}
+	if f == nil {
+		return ""
+	}
 	for _, imp := range f.Imports {
 		path, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {

@@ -1,0 +1,372 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkHotpathAlloc walks the call graph from every //rmlint:hotpath
+// annotated function, breadth-first to cfg.HotpathDepth, and flags
+// anything that allocates in a visited body: make/new, growing append,
+// slice/map composite literals, &composite literals, closures, string
+// concatenation and conversion, direct fmt formatting, and arguments
+// boxed into interface parameters.
+//
+// Two carve-outs keep the cold paths out of scope: expressions inside a
+// return statement of an error-returning function (the error exits that
+// terminate a transfer, not its steady state), and panic arguments
+// (length-mismatch guards in the gf256 kernels). An //rmlint:ignore
+// hotpath-alloc directive on a call line additionally prunes that edge
+// from the walk, so audited amortized allocators (inverse-cache fills,
+// pool refills) do not drag their callees into the hot set.
+func checkHotpathAlloc(cfg Config, fx *facts) []Diagnostic {
+	depth := cfg.HotpathDepth
+	if depth <= 0 {
+		depth = 4
+	}
+
+	type qitem struct {
+		fi    *funcInfo
+		root  string
+		depth int
+	}
+	var queue []qitem
+	// Deterministic root order: package order, then declaration position.
+	for _, p := range fx.mod.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				if fi := fx.funcs[obj]; fi != nil && fi.hotpath {
+					queue = append(queue, qitem{fi, funcDisplay(fx.mod, obj), 0})
+				}
+			}
+		}
+	}
+
+	visited := make(map[*types.Func]bool)
+	type deepEdge struct {
+		callee *types.Func
+		pos    token.Position
+	}
+	var diags []Diagnostic
+	var deep []deepEdge
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.fi.decl.Body == nil || visited[it.fi.obj] {
+			continue
+		}
+		visited[it.fi.obj] = true
+		w := &hotWalk{
+			p:    it.fi.pkg,
+			fx:   fx,
+			root: it.root,
+			errs: returnsError(it.fi.obj),
+		}
+		w.walk(it.fi.decl.Body, false)
+		diags = append(diags, w.diags...)
+		for _, e := range w.edges {
+			fi := fx.funcs[e.callee]
+			if fi == nil || visited[e.callee] {
+				continue
+			}
+			if it.depth+1 > depth {
+				deep = append(deep, deepEdge{e.callee, it.fi.pkg.Fset.Position(e.pos)})
+				continue
+			}
+			queue = append(queue, qitem{fi, it.root, it.depth + 1})
+		}
+	}
+	// A depth-capped edge is a soundness hole only if nothing shallower
+	// reached the callee; report the survivors.
+	for _, e := range deep {
+		if !visited[e.callee] {
+			diags = append(diags, Diagnostic{e.pos, "hotpath-alloc",
+				fmt.Sprintf("call to %s exceeds the hotpath-alloc walk depth (%d); annotate it //rmlint:hotpath or prune the edge with an ignore directive",
+					funcDisplay(fx.mod, e.callee), depth)})
+		}
+	}
+	return diags
+}
+
+// returnsError reports whether fn's results include an error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// hotEdge is one same-module call discovered while walking a hot body.
+type hotEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// hotWalk flags allocation sites in one function body and collects the
+// outgoing call edges. Flagged expressions are not descended into, so one
+// multi-line allocation yields one finding at its outermost node.
+type hotWalk struct {
+	p     *Package
+	fx    *facts
+	root  string
+	errs  bool // function returns an error: return statements are cold
+	diags []Diagnostic
+	edges []hotEdge
+}
+
+// flag records one allocation finding unless carved out.
+func (w *hotWalk) flag(carve bool, pos token.Pos, what string) {
+	if carve {
+		return
+	}
+	w.diags = append(w.diags, Diagnostic{
+		Pos:  w.p.Fset.Position(pos),
+		Rule: "hotpath-alloc",
+		Msg:  fmt.Sprintf("%s in hot path rooted at %s", what, w.root),
+	})
+}
+
+// walk inspects n; carve disables flagging (edges are still collected) on
+// the cold error-return subtrees.
+func (w *hotWalk) walk(n ast.Node, carve bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.ReturnStmt:
+			if w.errs && !carve {
+				for _, res := range x.Results {
+					w.walk(res, true)
+				}
+				return false
+			}
+		case *ast.GoStmt:
+			w.flag(carve, x.Pos(), "go statement starts a goroutine")
+		case *ast.FuncLit:
+			w.flag(carve, x.Pos(), "func literal allocates a closure")
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					w.flag(carve, x.Pos(), "&composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := w.p.Info.Types[x]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					w.flag(carve, x.Pos(), "slice/map composite literal allocates")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := w.p.Info.Types[x]; ok && tv.Value == nil && isStringType(tv.Type) {
+					w.flag(carve, x.Pos(), "string concatenation allocates")
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			return w.call(x, carve)
+		}
+		return true
+	})
+}
+
+// call handles one call expression; the bool is the "descend" answer for
+// ast.Inspect.
+func (w *hotWalk) call(call *ast.CallExpr, carve bool) bool {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := w.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "panic":
+				return false // terminal; its arguments are cold
+			case "make":
+				w.flag(carve, call.Pos(), "make allocates")
+				return false
+			case "new":
+				w.flag(carve, call.Pos(), "new allocates")
+				return false
+			case "append":
+				w.flag(carve, call.Pos(), "append may grow its backing array")
+				return false
+			}
+			return true
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copy their operand.
+	if tv, ok := w.p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if argTv, ok := w.p.Info.Types[call.Args[0]]; ok && isStringBytesConv(tv.Type, argTv.Type) {
+			w.flag(carve, call.Pos(), "string conversion allocates")
+			return false
+		}
+		return true
+	}
+
+	// Direct fmt formatting allocates regardless of the carve-outs' view
+	// of its arguments; one finding for the whole call.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && pkgPathOfIdent(w.p, fileOf(w.p, call.Pos()), id) == "fmt" {
+			switch sel.Sel.Name {
+			case "Errorf", "Sprintf", "Sprint", "Sprintln", "Appendf", "Append", "Appendln":
+				w.flag(carve, call.Pos(), "fmt."+sel.Sel.Name+" allocates")
+				return false
+			}
+		}
+	}
+
+	// Same-module callee: follow the edge unless an ignore directive on
+	// this line prunes it (audited cold/amortized helper).
+	if callee := calleeFunc(w.p, fun); callee != nil {
+		if w.fx.funcs[callee] != nil {
+			pos := w.p.Fset.Position(call.Pos())
+			if w.fx.hasIgnore(pos, "hotpath-alloc") {
+				w.fx.useIgnore(pos, "hotpath-alloc")
+				return false
+			}
+			w.edges = append(w.edges, hotEdge{callee, call.Pos()})
+		}
+	}
+
+	// Interface boxing: a non-pointer, non-constant concrete argument
+	// passed to an interface parameter heap-allocates its copy.
+	if sig := signatureOf(w.p, call.Fun); sig != nil && !call.Ellipsis.IsValid() {
+		for i, arg := range call.Args {
+			pt := paramTypeAt(sig, i)
+			if pt == nil || !types.IsInterface(pt) {
+				continue
+			}
+			atv, ok := w.p.Info.Types[arg]
+			if !ok || atv.Value != nil || atv.Type == nil {
+				continue
+			}
+			if boxesOnConversion(atv.Type) {
+				w.flag(carve, arg.Pos(), fmt.Sprintf("argument of type %s boxes into interface parameter", atv.Type))
+			}
+		}
+	}
+	return true
+}
+
+// calleeFunc statically resolves a call target to its *types.Func, when
+// the target is a declared function or concrete method (interface calls
+// and func-valued fields resolve to nothing).
+func calleeFunc(p *Package, fun ast.Expr) *types.Func {
+	switch x := fun.(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[x].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+			if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+				return nil
+			}
+		}
+		fn, _ := p.Info.Uses[x.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// signatureOf returns the call target's signature, nil for builtins and
+// conversions.
+func signatureOf(p *Package, fun ast.Expr) *types.Signature {
+	tv, ok := p.Info.Types[fun]
+	if !ok || tv.IsType() || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the effective parameter type for argument i,
+// unwrapping the variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		s, ok := sig.Params().At(n - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return s.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// boxesOnConversion reports whether storing a value of type t in an
+// interface heap-allocates. Pointer-shaped values are stored directly;
+// everything else is copied to the heap. Slices/maps/channels/funcs are
+// treated as pointer-shaped to keep the rule quiet on reference types.
+func boxesOnConversion(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.Invalid
+	}
+	return true
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringBytesConv reports whether a conversion dst(src) copies between
+// string and []byte/[]rune.
+func isStringBytesConv(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	toString := isStringType(dst)
+	fromString := isStringType(src)
+	return (toString && isCharSlice(src)) || (fromString && isCharSlice(dst))
+}
+
+// isCharSlice reports whether t is []byte or []rune.
+func isCharSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// fileOf finds the *ast.File of p containing pos (for import-table
+// fallback resolution).
+func fileOf(p *Package, pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

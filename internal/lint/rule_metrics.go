@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// labelValueDepth bounds the interprocedural resolution of label values:
+// a value may arrive through a helper parameter (tx(kind string)), whose
+// call sites may themselves forward a parameter, and so on.
+const labelValueDepth = 3
+
+// metricReg is one statically discovered metrics.Registry registration.
+type metricReg struct {
+	pkg  *Package
+	call *ast.CallExpr
+	kind string // "counter", "gauge", "histogram"
+	name string
+	ids  []string // fully expanded series IDs (name{k="v"})
+}
+
+// checkMetricsDiscipline verifies every metrics.Registry registration in
+// the module: the series name must be a constant snake_case string (never
+// computed at runtime), labels must be literal metrics.Label values whose
+// strings resolve statically (constants, or parameters fed only constants
+// at every call site), one name must keep one instrument kind, and — when
+// cfg.MetricsSchemaFile is set — the derived static series set must match
+// the pinned schema exactly, in both directions.
+func checkMetricsDiscipline(cfg Config, fx *facts) []Diagnostic {
+	regs, diags := collectMetricSeries(fx)
+
+	// Kind discipline: registering one name as two kinds panics at
+	// runtime (metrics.Registry.register); catch it statically.
+	kindOf := make(map[string]*metricReg)
+	for i := range regs {
+		r := &regs[i]
+		if prev, ok := kindOf[r.name]; ok {
+			if prev.kind != r.kind {
+				diags = append(diags, Diagnostic{r.pkg.Fset.Position(r.call.Pos()), "metrics-discipline",
+					fmt.Sprintf("series %s registered as a %s here but as a %s at %s", r.name, r.kind, prev.kind,
+						posString(prev.pkg.Fset.Position(prev.call.Pos())))})
+			}
+			continue
+		}
+		kindOf[r.name] = r
+	}
+
+	if cfg.MetricsSchemaFile != "" {
+		diags = append(diags, reconcileSchema(cfg.MetricsSchemaFile, fx, regs)...)
+	}
+	return diags
+}
+
+// reconcileSchema diffs the derived series set against the schema file.
+// A series registered in source but absent from the schema points at the
+// registration; a schema line no registration derives points at the line.
+func reconcileSchema(schemaFile string, fx *facts, regs []metricReg) []Diagnostic {
+	path := schemaFile
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(fx.mod.Root, filepath.FromSlash(schemaFile))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []Diagnostic{{token.Position{Filename: schemaFile, Line: 1}, "metrics-discipline",
+			fmt.Sprintf("cannot read metrics schema: %v (regenerate with rmlint -metrics-schema)", err)}}
+	}
+	want := make(map[string]int) // series -> schema line
+	var diags []Diagnostic
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		want[line] = i + 1
+	}
+	derived := make(map[string]token.Position)
+	for _, r := range regs {
+		for _, id := range r.ids {
+			if _, ok := derived[id]; !ok {
+				derived[id] = r.pkg.Fset.Position(r.call.Pos())
+			}
+		}
+	}
+	for id, pos := range derived {
+		if _, ok := want[id]; !ok {
+			diags = append(diags, Diagnostic{pos, "metrics-discipline",
+				fmt.Sprintf("series %s is not pinned in %s; regenerate it with rmlint -metrics-schema", id, schemaFile)})
+		}
+	}
+	for id, line := range want {
+		if _, ok := derived[id]; !ok {
+			diags = append(diags, Diagnostic{token.Position{Filename: schemaFile, Line: line}, "metrics-discipline",
+				fmt.Sprintf("schema pins series %s but no registration derives it; regenerate with rmlint -metrics-schema", id)})
+		}
+	}
+	return diags
+}
+
+// registryMethods maps registration method names to instrument kinds and
+// the argument index where labels start.
+var registryMethods = map[string]struct {
+	kind     string
+	labelArg int
+}{
+	"Counter":   {"counter", 2},
+	"Gauge":     {"gauge", 2},
+	"Histogram": {"histogram", 3},
+}
+
+// collectMetricSeries finds every registration call and statically
+// expands it to its series IDs, reporting what cannot be resolved.
+func collectMetricSeries(fx *facts) ([]metricReg, []Diagnostic) {
+	var regs []metricReg
+	var diags []Diagnostic
+	for _, p := range fx.mod.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				m, ok := registryMethods[sel.Sel.Name]
+				if !ok || !isRegistryRecv(p, sel.X) || len(call.Args) < m.labelArg {
+					return true
+				}
+				reg, ds := resolveRegistration(fx, p, call, m.kind, m.labelArg)
+				diags = append(diags, ds...)
+				if reg != nil {
+					regs = append(regs, *reg)
+				}
+				return true
+			})
+		}
+	}
+	return regs, diags
+}
+
+// isRegistryRecv reports whether e's static type is (a pointer to) a
+// named type Registry declared in a package named metrics.
+func isRegistryRecv(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "metrics"
+}
+
+// resolveRegistration expands one registration call into its series IDs.
+func resolveRegistration(fx *facts, p *Package, call *ast.CallExpr, kind string, labelArg int) (*metricReg, []Diagnostic) {
+	pos := p.Fset.Position(call.Pos())
+	var diags []Diagnostic
+	fail := func(format string, args ...any) (*metricReg, []Diagnostic) {
+		diags = append(diags, Diagnostic{pos, "metrics-discipline", fmt.Sprintf(format, args...)})
+		return nil, diags
+	}
+
+	nameTv, ok := p.Info.Types[call.Args[0]]
+	if !ok || nameTv.Value == nil || nameTv.Value.Kind() != constant.String {
+		return fail("series name must be a constant string literal, not a computed value")
+	}
+	name := constant.StringVal(nameTv.Value)
+	if !isSnakeCase(name) {
+		return fail("series name %q is not snake_case ([a-z][a-z0-9_]*)", name)
+	}
+
+	if call.Ellipsis.IsValid() {
+		return fail("series %s: labels must be literal metrics.Label values, not a spread slice", name)
+	}
+
+	var labels []labelSet
+	for _, arg := range call.Args[labelArg:] {
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			return fail("series %s: label must be a literal metrics.Label{Key: ..., Value: ...}", name)
+		}
+		var keyExpr, valExpr ast.Expr
+		for i, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					switch id.Name {
+					case "Key":
+						keyExpr = kv.Value
+					case "Value":
+						valExpr = kv.Value
+					}
+				}
+				continue
+			}
+			switch i {
+			case 0:
+				keyExpr = el
+			case 1:
+				valExpr = el
+			}
+		}
+		if keyExpr == nil || valExpr == nil {
+			return fail("series %s: label literal must set both Key and Value", name)
+		}
+		keyTv, ok := p.Info.Types[keyExpr]
+		if !ok || keyTv.Value == nil || keyTv.Value.Kind() != constant.String {
+			return fail("series %s: label key must be a constant string literal", name)
+		}
+		key := constant.StringVal(keyTv.Value)
+		if !isSnakeCase(key) {
+			return fail("series %s: label key %q is not snake_case", name, key)
+		}
+		for _, l := range labels {
+			if l.key == key {
+				return fail("series %s: duplicate label key %q", name, key)
+			}
+		}
+		values, ok := fx.stringValues(p, valExpr, labelValueDepth)
+		if !ok || len(values) == 0 {
+			return fail("series %s: label %s has a value that does not resolve to constant strings (parameters must be fed string literals at every call site)", name, key)
+		}
+		labels = append(labels, labelSet{key, values})
+	}
+
+	reg := &metricReg{pkg: p, call: call, kind: kind, name: name}
+	reg.ids = expandSeries(name, labels, nil)
+	return reg, diags
+}
+
+// labelSet is one label key with every value it can statically take.
+type labelSet struct {
+	key    string
+	values []string
+}
+
+// labelPair is one resolved key/value binding of a concrete series.
+type labelPair struct{ k, v string }
+
+// expandSeries renders the cross product of label values into series IDs,
+// matching metrics.seriesID (labels sorted by key, values %q-quoted).
+func expandSeries(name string, labels []labelSet, acc []labelPair) []string {
+	if len(labels) == 0 {
+		if len(acc) == 0 {
+			return []string{name}
+		}
+		sorted := append([]labelPair(nil), acc...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].k < sorted[j].k })
+		var b strings.Builder
+		b.WriteString(name)
+		b.WriteByte('{')
+		for i, l := range sorted {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", l.k, l.v)
+		}
+		b.WriteByte('}')
+		return []string{b.String()}
+	}
+	var out []string
+	for _, v := range labels[0].values {
+		out = append(out, expandSeries(name, labels[1:], append(acc, labelPair{labels[0].key, v}))...)
+	}
+	return out
+}
+
+// isSnakeCase reports whether s matches [a-z][a-z0-9_]*.
+func isSnakeCase(s string) bool {
+	if s == "" || !(s[0] >= 'a' && s[0] <= 'z') {
+		return false
+	}
+	for _, r := range s[1:] {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// posString renders a position the way Diagnostic.String does.
+func posString(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// MetricsSchema derives the sorted static series set from every
+// metrics.Registry registration in the module — the contents
+// scripts/metrics_schema.txt pins. Diagnostics report registrations that
+// do not resolve statically.
+func MetricsSchema(mod *Module) ([]string, []Diagnostic) {
+	fx := buildFacts(mod)
+	regs, diags := collectMetricSeries(fx)
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range regs {
+		for _, id := range r.ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, diags
+}

@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRmlintSelfClean loads the real module this package lives in and
+// runs the full default-config analysis over it: the repository must
+// produce zero findings under its own rules, which also proves every
+// //rmlint:ignore directive in the tree still suppresses something
+// (stale-ignore) and the pinned metrics schema matches the source.
+func TestRmlintSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short mode")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, d := range Run(mod, DefaultConfig()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -38,6 +38,8 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Record appends ev, overwriting the oldest event once the ring is full.
+//
+//rmlint:hotpath
 func (t *Tracer) Record(ev Event) {
 	if t == nil {
 		return

@@ -295,6 +295,7 @@ func (c *Code) encodeRow(j int, data [][]byte, dst []byte) {
 // contents are left arbitrary; callers overwrite via encodeRow/MulSlice.
 func sizeFor(dst []byte, size int) []byte {
 	if cap(dst) < size {
+		//rmlint:ignore hotpath-alloc grows dst only when capacity is short; steady state reuses
 		return make([]byte, size)
 	}
 	return dst[:size]
@@ -325,6 +326,8 @@ func (c *Code) Encode(data, parity [][]byte) error {
 // nb*h parity slices, resized and overwritten like Encode. This is the
 // batch entry point for senders that pre-encode many TGs at once; it
 // validates each block once and then runs the unchecked row loop.
+//
+//rmlint:hotpath
 func (c *Code) EncodeBlocks(data, parity [][]byte) error {
 	if c.k == 0 || len(data)%c.k != 0 {
 		return fmt.Errorf("%w: %d data shards, want a multiple of %d", ErrBadShardCount, len(data), c.k)
@@ -353,6 +356,8 @@ func (c *Code) EncodeBlocks(data, parity [][]byte) error {
 // grown if needed and returned. This supports the paper's integrated
 // protocol NP, where parities are produced on demand one retransmission
 // round at a time rather than all up front.
+//
+//rmlint:hotpath
 func (c *Code) EncodeParity(j int, data [][]byte, dst []byte) ([]byte, error) {
 	if j < 0 || j >= c.h {
 		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadParityIndex, j, c.h)
@@ -378,6 +383,7 @@ func (c *Code) getScratch() *decodeScratch {
 	}
 	c.mu.Unlock()
 	if sc == nil {
+		//rmlint:ignore hotpath-alloc scratch allocated on pool miss; recycled by putScratch
 		sc = &decodeScratch{
 			missing: make([]int, 0, c.k),
 			chosen:  make([]int, 0, c.k),
@@ -388,6 +394,7 @@ func (c *Code) getScratch() *decodeScratch {
 
 func (c *Code) putScratch(sc *decodeScratch) {
 	c.mu.Lock()
+	//rmlint:ignore hotpath-alloc scratch pool growth is amortized across the session
 	c.scratch = append(c.scratch, sc)
 	c.mu.Unlock()
 }
@@ -447,6 +454,8 @@ func (c *Code) storeInverse(key shardBitmap, inv *gf256.Matrix, wide bool) {
 // allocation-free once the loss pattern's inverse is cached (see
 // TestReconstructSteadyStateAllocs). Missing shards passed as nil are
 // freshly allocated as before.
+//
+//rmlint:hotpath
 func (c *Code) Reconstruct(shards [][]byte) error {
 	n := c.N()
 	if len(shards) != n {
@@ -462,6 +471,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	missing := sc.missing[:0]
 	for i := 0; i < c.k; i++ {
 		if len(shards[i]) == 0 {
+			//rmlint:ignore hotpath-alloc scratch slices carry capacity k; append cannot grow after first use
 			missing = append(missing, i)
 		}
 	}
@@ -476,12 +486,14 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	var key shardBitmap
 	for i := 0; i < c.k && len(chosen) < c.k; i++ {
 		if len(shards[i]) != 0 {
+			//rmlint:ignore hotpath-alloc scratch slices carry capacity k; append cannot grow after first use
 			chosen = append(chosen, i)
 			key.set(i)
 		}
 	}
 	for i := c.k; i < n && len(chosen) < c.k; i++ {
 		if len(shards[i]) != 0 {
+			//rmlint:ignore hotpath-alloc scratch slices carry capacity k; append cannot grow after first use
 			chosen = append(chosen, i)
 			key.set(i)
 		}
@@ -498,6 +510,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	}
 	if inv == nil {
 		// Decode matrix: rows of G for the chosen shards.
+		//rmlint:ignore hotpath-alloc decode inverse is built once per erasure pattern, then cached
 		a := gf256.NewMatrix(c.k, c.k)
 		for r, idx := range chosen {
 			if idx < c.k {
@@ -506,6 +519,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 				copy(a.Row(r), c.parity.Row(idx-c.k))
 			}
 		}
+		//rmlint:ignore hotpath-alloc decode inverse is built once per erasure pattern, then cached
 		inv, err = a.Invert()
 		if err != nil {
 			// Cannot happen for this generator matrix; any k rows are
@@ -513,6 +527,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 			return fmt.Errorf("rse: internal decode failure: %w", err)
 		}
 		wide = wideKernelOK(inv)
+		//rmlint:ignore hotpath-alloc cache insert runs once per erasure pattern
 		c.storeInverse(key, inv, wide)
 	}
 

@@ -135,6 +135,7 @@ func (c *Conn) Multicast(b []byte) error { return c.send(b, c.m.txData) }
 // two entry points are metered separately.
 func (c *Conn) MulticastControl(b []byte) error { return c.send(b, c.m.txControl) }
 
+//rmlint:hotpath
 func (c *Conn) send(b []byte, plane *metrics.Counter) error {
 	if c.closed.Load() {
 		c.m.txErrors.Inc()
@@ -157,6 +158,8 @@ func (c *Conn) send(b []byte, plane *metrics.Counter) error {
 // aborts the remainder and is returned. Like Multicast, it takes no locks
 // and may be called from engine callbacks, and no frame is retained after
 // the call returns.
+//
+//rmlint:hotpath
 func (c *Conn) MulticastBatch(frames [][]byte) error {
 	if c.closed.Load() {
 		c.m.txErrors.Inc()

@@ -3,11 +3,16 @@
 #
 # Tiers, cheapest first so failures surface fast:
 #   1. gofmt            formatting drift
-#   2. go vet           the stock analyzer suite
+#   2. go vet           the stock analyzer suite, plus a second pass with
+#                       an extended -unusedresult function list
 #   3. go build         everything compiles
 #   4. rmlint           project invariants (env-discipline, no-goroutines,
-#                       float-eq, mutex-discipline, doc-comment) — see
-#                       internal/lint
+#                       float-eq, mutex-discipline, doc-comment, and the
+#                       dataflow rules hotpath-alloc, buffer-ownership,
+#                       metrics-discipline) — see internal/lint. The tier
+#                       also asserts -json emits an empty array on a clean
+#                       tree and that `rmlint -metrics-schema` reproduces
+#                       scripts/metrics_schema.txt byte for byte
 #   5. go test          full test suite
 #   6. go test -race    short-mode tests of the concurrent packages under
 #                       the race detector (udpcast transport, simnet
@@ -26,14 +31,19 @@
 #                       every simulated figure (the mcrun determinism
 #                       contract, end to end; fig 1 measures this
 #                       machine's coder throughput, so it is excluded)
-#  10. metrics smoke    start npsend -metrics-addr, scrape /metrics, and
-#                       diff the exposed series set against
-#                       scripts/metrics_schema.txt — a renamed or dropped
-#                       series breaks dashboards silently, so the schema
-#                       is pinned (skipped when multicast or curl is
-#                       unavailable, like the udpcast tests)
+#  10. metrics smoke    start npsend -metrics-addr, scrape /metrics,
+#                       project the exposed series onto their static IDs
+#                       (drop _bucket, fold _sum/_count into the histogram
+#                       base name) and diff against the sender-side slice
+#                       of scripts/metrics_schema.txt — a renamed or
+#                       dropped series breaks dashboards silently, so the
+#                       schema is pinned (skipped when multicast or curl
+#                       is unavailable, like the udpcast tests)
 set -eu
 cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
 
 echo '== gofmt'
 fmt=$(gofmt -l .)
@@ -45,12 +55,28 @@ fi
 
 echo '== go vet ./...'
 go vet ./...
+# Second, stricter pass: naming an analyzer disables the rest, so the
+# extended unusedresult function list needs its own invocation.
+go vet -unusedresult \
+    -unusedresult.funcs='errors.New,errors.Unwrap,fmt.Errorf,fmt.Sprint,fmt.Sprintf,fmt.Sprintln,sort.Reverse,context.WithValue,strings.Join,strings.Repeat,strings.ToLower,strings.ToUpper,strings.TrimSpace' \
+    ./...
 
 echo '== go build ./...'
 go build ./...
 
 echo '== rmlint ./...'
 go run ./cmd/rmlint ./...
+json=$(go run ./cmd/rmlint -json ./...)
+if [ "$json" != "[]" ]; then
+    echo "rmlint -json on a clean tree must emit an empty array, got: $json" >&2
+    exit 1
+fi
+go run ./cmd/rmlint -metrics-schema > "$tmp/schema.derived"
+if ! cmp -s "$tmp/schema.derived" scripts/metrics_schema.txt; then
+    echo 'rmlint -metrics-schema disagrees with scripts/metrics_schema.txt:' >&2
+    diff scripts/metrics_schema.txt "$tmp/schema.derived" >&2 || true
+    exit 1
+fi
 
 echo '== go test ./...'
 go test ./...
@@ -75,8 +101,6 @@ if [ "$t0a" != "$t8" ]; then
 fi
 
 echo '== figures determinism (-parallel 1 vs 8, simulated figures)'
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/figures" ./cmd/figures
 for fig in 11 12 14 15 16; do
     "$tmp/figures" -fig "$fig" -quick -seed 7 -parallel 1 >> "$tmp/p1.tsv"
@@ -108,11 +132,19 @@ else
         echo 'metrics smoke: npsend did not start (multicast unavailable?), skipping'
         cat "$tmp/npsend.out"
     else
-        curl -sf "http://$addr/metrics" | grep -v '^#' | awk '{print $1}' | sort \
-            > "$tmp/schema.txt"
-        if ! cmp -s "$tmp/schema.txt" scripts/metrics_schema.txt; then
+        # Project runtime series onto their static IDs: histogram expansion
+        # (_bucket{le=...}, _sum, _count) folds back into the base name.
+        curl -sf "http://$addr/metrics" | grep -v '^#' | awk '{print $1}' \
+            | grep -v '_bucket{' \
+            | sed -e 's/_sum$//' -e 's/_count$//' \
+            | LC_ALL=C sort -u > "$tmp/schema.txt"
+        # npsend runs the sender half only; slice the pinned schema down to
+        # the series a sender process registers.
+        grep -E '^(np_sender_|np_pipeline_|rse_|udpcast_)' scripts/metrics_schema.txt \
+            > "$tmp/schema.want"
+        if ! cmp -s "$tmp/schema.txt" "$tmp/schema.want"; then
             echo 'metrics series set drifted from scripts/metrics_schema.txt:' >&2
-            diff scripts/metrics_schema.txt "$tmp/schema.txt" >&2 || true
+            diff "$tmp/schema.want" "$tmp/schema.txt" >&2 || true
             kill "$np_pid" 2>/dev/null || true
             exit 1
         fi
