@@ -15,15 +15,16 @@ test:
 lint:
 	$(GO) run ./cmd/rmlint ./...
 
-# Race-detector pass over the packages that own or drive concurrency.
+# Race-detector pass over the packages that own or drive concurrency
+# (rse/rse16 join for the sharded parallel encode).
 race:
-	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/
+	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/
 
 check:
 	sh scripts/check.sh
 
 # Perf trajectory snapshot (kernel + codec + sim + NP loopback rates ->
-# BENCH_PR5.json).
+# BENCH_PR7.json).
 bench:
 	sh scripts/bench.sh
 

@@ -1,18 +1,22 @@
 // Command bench runs the repository's performance gate and emits a
-// machine-readable snapshot (BENCH_PR5.json) for the perf trajectory:
+// machine-readable snapshot (BENCH_PR7.json) for the perf trajectory:
 // GF(2^8) kernel throughput against the retained scalar reference,
 // encode/decode packet rates of the RSE coder at the paper's k=7,h=7 and
 // k=20,h=5 operating points, Monte-Carlo engine sample rates (sparse
 // engines vs the retained pre-PR dense engines) at R = 10^4 and 10^6,
-// the end-to-end `figures -fig all -quick` wall-clock, and — new in
-// PR 5 — the NP loopback tier (np.go): sender packets/s through an
-// in-process loopback Env, pipelined (encode-ahead pool + pooled frames +
-// MulticastBatch) against the retained pre-PR serial transmit path.
+// the end-to-end `figures -fig all -quick` wall-clock, the NP loopback
+// tier (np.go): sender packets/s through an in-process loopback Env,
+// pipelined (encode-ahead pool + pooled frames + MulticastBatch) against
+// the retained pre-PR serial transmit path — and, new in PR 7, the
+// per-core encode scaling sweep (GOMAXPROCS 1/2/4/8 with row-sharded
+// parallel encode) and measured syscalls/pkt on a real multicast socket
+// (sendmmsg batch path vs per-frame write).
 //
-//	go run ./cmd/bench                    # writes BENCH_PR5.json
+//	go run ./cmd/bench                    # writes BENCH_PR7.json
 //	go run ./cmd/bench -out - -runs 3     # quick run to stdout
 //	go run ./cmd/bench -np-only -runs 1   # NP loopback smoke (check.sh)
 //	go run ./cmd/bench -transcript -depth 0   # sender transcript hash
+//	go run ./cmd/bench -transcript -depth 8 -shards 4   # sharded hash
 //
 // Each metric is the median of -runs testing.Benchmark passes, because
 // shared hosts are noisy and a single pass can swing 2x in either
@@ -68,19 +72,22 @@ type simStats struct {
 }
 
 type snapshot struct {
-	PR                  int          `json:"pr"`
-	Timestamp           string       `json:"timestamp"`
-	GoVersion           string       `json:"go_version"`
-	GOOS                string       `json:"goos"`
-	GOARCH              string       `json:"goarch"`
-	ShardBytes          int          `json:"shard_bytes"`
-	Runs                int          `json:"runs"`
-	Kernels             kernelStats  `json:"kernels,omitempty"`
-	Codec               []codecStats `json:"codec,omitempty"`
-	Sim                 []simStats   `json:"sim,omitempty"`
-	NP                  []npStats    `json:"np"`
-	FiguresQuickSeconds float64      `json:"figures_quick_seconds,omitempty"`
-	FiguresQuickSamples int          `json:"figures_quick_samples,omitempty"`
+	PR                  int            `json:"pr"`
+	Timestamp           string         `json:"timestamp"`
+	GoVersion           string         `json:"go_version"`
+	GOOS                string         `json:"goos"`
+	GOARCH              string         `json:"goarch"`
+	HostCPUs            int            `json:"host_cpus"`
+	ShardBytes          int            `json:"shard_bytes"`
+	Runs                int            `json:"runs"`
+	Kernels             kernelStats    `json:"kernels,omitempty"`
+	Codec               []codecStats   `json:"codec,omitempty"`
+	Sim                 []simStats     `json:"sim,omitempty"`
+	NP                  []npStats      `json:"np"`
+	NPScaling           []scalingStats `json:"np_scaling"`
+	NPSyscalls          *sysStats      `json:"np_syscalls,omitempty"`
+	FiguresQuickSeconds float64        `json:"figures_quick_seconds,omitempty"`
+	FiguresQuickSamples int            `json:"figures_quick_samples,omitempty"`
 }
 
 // medianRate runs fn under testing.Benchmark `runs` times and returns the
@@ -310,18 +317,19 @@ func figuresQuickBench() (seconds float64, samples int) {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_PR5.json", "output path, or - for stdout")
+		out        = flag.String("out", "BENCH_PR7.json", "output path, or - for stdout")
 		runs       = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
 		showMet    = flag.Bool("metrics", false, "print an end-of-run metrics snapshot (Prometheus text) to stderr")
 		npGroups   = flag.Int("np-groups", 600, "transmission groups per NP loopback drain")
-		npOnly     = flag.Bool("np-only", false, "run only the NP loopback tier (check.sh smoke)")
+		npOnly     = flag.Bool("np-only", false, "run only the NP loopback tiers (check.sh smoke)")
 		transcript = flag.Bool("transcript", false, "print the sender transcript hash of a fixed transfer and exit")
 		depth      = flag.Int("depth", 0, "pipeline depth for -transcript (0 = serial reference path)")
+		shards     = flag.Int("shards", 0, "encode shards for -transcript (0 = engine default)")
 	)
 	flag.Parse()
 
 	if *transcript {
-		fmt.Println(transcriptHash(*depth))
+		fmt.Println(transcriptHash(*depth, *shards))
 		return
 	}
 
@@ -333,11 +341,12 @@ func main() {
 	}
 
 	snap := snapshot{
-		PR:         5,
+		PR:         7,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		HostCPUs:   runtime.NumCPU(),
 		ShardBytes: shardBytes,
 		Runs:       *runs,
 	}
@@ -351,6 +360,8 @@ func main() {
 		snap.Sim = simBench(*runs)
 	}
 	snap.NP = npBench(*runs, *npGroups)
+	snap.NPScaling = scalingBench(*runs, *npGroups)
+	snap.NPSyscalls = syscallBench()
 	if !*npOnly {
 		fmt.Fprintln(os.Stderr, "bench: timing figures -fig all -quick...")
 		snap.FiguresQuickSeconds, snap.FiguresQuickSamples = figuresQuickBench()
@@ -380,6 +391,12 @@ func main() {
 	npSummary := ""
 	for _, n := range snap.NP {
 		npSummary += fmt.Sprintf(", np/%s %.2fx", n.Scenario, n.Speedup)
+	}
+	for _, sc := range snap.NPScaling {
+		npSummary += fmt.Sprintf(", scale@%d %.2fx", sc.Procs, sc.SpeedupVsDepth0)
+	}
+	if snap.NPSyscalls != nil {
+		npSummary += fmt.Sprintf(", syscalls/pkt %.3f", snap.NPSyscalls.BatchSyscallsPkt)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.2fx scalar, xor %.2fx%s%s, figures-quick %.1fs)\n",
 		*out, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup, simSummary, npSummary, snap.FiguresQuickSeconds)

@@ -29,8 +29,10 @@ import (
 	"time"
 
 	"rmfec/internal/core"
+	"rmfec/internal/metrics"
 	"rmfec/internal/packet"
 	"rmfec/internal/rse"
+	"rmfec/internal/udpcast"
 )
 
 // npEnv is a deterministic in-process loopback Env: frames are counted
@@ -66,12 +68,12 @@ func (e *npEnv) Multicast(b []byte) error {
 
 func (e *npEnv) MulticastControl(b []byte) error { return e.Multicast(b) }
 
-func (e *npEnv) MulticastBatch(frames [][]byte) error {
+func (e *npEnv) MulticastBatch(frames [][]byte) (int, error) {
 	e.batches++
 	for _, b := range frames {
 		e.Multicast(b) //nolint:errcheck // loopback cannot fail
 	}
-	return nil
+	return len(frames), nil
 }
 
 func (e *npEnv) After(d time.Duration, fn func()) (cancel func()) {
@@ -341,7 +343,7 @@ type npStats struct {
 // on top.
 func npBench(runs, groups int) []npStats {
 	const k, h = 20, 5
-	pl := core.PipelineConfig{Depth: 8, Workers: 2, Batch: 32}
+	pl := core.PipelineConfig{Depth: 8, Workers: 2, Batch: 32, EncodeShards: 2}
 	var out []npStats
 	for _, sc := range []struct {
 		name      string
@@ -392,18 +394,136 @@ func npBench(runs, groups int) []npStats {
 	return out
 }
 
+// scalingStats is one point of the per-core encode scaling sweep: an
+// encode-bound drain (proactive = MaxParity, so every group pays h parity
+// rows) run under a pinned GOMAXPROCS with Workers = procs and
+// EncodeShards = min(procs, h). The paired depth-0 leg runs under the same
+// GOMAXPROCS, so the speedup isolates what the sharded pipeline buys at
+// that core count rather than mixing in host-wide frequency drift.
+type scalingStats struct {
+	Procs           int     `json:"gomaxprocs"`
+	Workers         int     `json:"workers"`
+	EncodeShards    int     `json:"encode_shards"`
+	Depth0PktsS     float64 `json:"depth0_pkts_s"`
+	PipelinedPktsS  float64 `json:"pipelined_pkts_s"`
+	SpeedupVsDepth0 float64 `json:"speedup_vs_depth0"`
+}
+
+// scalingBench sweeps the encode-bound scenario across GOMAXPROCS values.
+// Points beyond runtime.NumCPU() still run (the scheduler just multiplexes)
+// and are recorded as measured; the snapshot's host_cpus field tells the
+// reader how many points had real cores behind them.
+func scalingBench(runs, groups int) []scalingStats {
+	const k, h = 20, 5
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	var out []scalingStats
+	for _, procs := range []int{1, 2, 4, 8} {
+		shards := procs
+		if shards > h {
+			shards = h
+		}
+		pl := core.PipelineConfig{Depth: 8, Workers: procs, Batch: 32, EncodeShards: shards}
+		fmt.Fprintf(os.Stderr, "bench: measuring NP encode scaling at GOMAXPROCS=%d (workers=%d shards=%d)...\n",
+			procs, procs, shards)
+		runtime.GOMAXPROCS(procs)
+		st := scalingStats{Procs: procs, Workers: procs, EncodeShards: shards}
+		var d0R, pipeR, ratios []float64
+		for i := 0; i < runs; i++ {
+			d0, _ := senderDrain(groups, k, h, h, shardBytes, core.PipelineConfig{})
+			pipe, _ := senderDrain(groups, k, h, h, shardBytes, pl)
+			d0R = append(d0R, d0.pktsS())
+			pipeR = append(pipeR, pipe.pktsS())
+			if d0.pktsS() > 0 {
+				ratios = append(ratios, pipe.pktsS()/d0.pktsS())
+			}
+		}
+		st.Depth0PktsS = median(d0R)
+		st.PipelinedPktsS = median(pipeR)
+		st.SpeedupVsDepth0 = median(ratios)
+		out = append(out, st)
+	}
+	return out
+}
+
+// sysStats reports measured kernel crossings per datagram on a real
+// udpcast socket, read as deltas of the udpcast_tx_syscalls_total counter
+// rather than inferred from code structure: the batch leg drains frames
+// through MulticastBatch in sender-sized batches, the portable leg sends
+// the same frames one Multicast at a time.
+type sysStats struct {
+	Frames              int     `json:"frames"`
+	BatchCalls          uint64  `json:"sendmmsg_calls"`
+	BatchWriteCalls     uint64  `json:"batch_write_calls"`
+	BatchSyscallsPkt    float64 `json:"batch_syscalls_per_pkt"`
+	PortableSyscallsPkt float64 `json:"portable_syscalls_per_pkt"`
+	Amortization        float64 `json:"amortization"`
+}
+
+// syscallBench measures syscalls/pkt over a real multicast socket. It
+// returns nil (tier skipped) when the host has no multicast route or the
+// sends fail — the same graceful degradation as the udpcast tests.
+func syscallBench() *sysStats {
+	c, err := udpcast.Join("239.81.7.7:47177", nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: syscall tier skipped:", err)
+		return nil
+	}
+	defer c.Close()
+	reg := metrics.NewRegistry()
+	c.Instrument(reg)
+	sys := func(path string) *metrics.Counter {
+		// Same series Instrument registered; the registry dedups by
+		// name+labels, so this returns the live counter.
+		return reg.Counter("udpcast_tx_syscalls_total", "", metrics.Label{Key: "path", Value: path})
+	}
+	batchC, writeC := sys("sendmmsg"), sys("write")
+
+	const frames, batch = 512, 32 // sender default Pipeline.Batch
+	buf := make([][]byte, batch)
+	payload := make([]byte, 64)
+	for i := range buf {
+		buf[i] = payload
+	}
+	st := &sysStats{Frames: frames}
+	b0, w0 := batchC.Value(), writeC.Value()
+	for sent := 0; sent < frames; sent += batch {
+		if _, err := c.MulticastBatch(buf); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: syscall tier skipped: batch send:", err)
+			return nil
+		}
+	}
+	st.BatchCalls = batchC.Value() - b0
+	st.BatchWriteCalls = writeC.Value() - w0
+	st.BatchSyscallsPkt = float64(st.BatchCalls+st.BatchWriteCalls) / frames
+
+	w1 := writeC.Value()
+	for i := 0; i < frames; i++ {
+		if err := c.Multicast(payload); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: syscall tier skipped: send:", err)
+			return nil
+		}
+	}
+	st.PortableSyscallsPkt = float64(writeC.Value()-w1) / frames
+	if st.BatchSyscallsPkt > 0 {
+		st.Amortization = st.PortableSyscallsPkt / st.BatchSyscallsPkt
+	}
+	return st
+}
+
 // transcriptHash drains one fixed transfer through a hashing loopback and
 // returns "<packets>:<sha256>" over the exact wire byte sequence. check.sh
-// runs it twice at depth 0 and once pipelined: all three must agree, which
-// is the shell-level form of TestPipelinedTranscriptMatchesSerial.
-func transcriptHash(depth int) string {
+// runs it at depth 0 (twice), pipelined, and pipelined with sharded encode:
+// all must agree, which is the shell-level form of
+// TestPipelinedTranscriptMatchesSerial.
+func transcriptHash(depth, shards int) string {
 	env := newNPEnv(3)
 	env.hash = sha256.New()
 	cfg := core.Config{
 		Session: 11, K: 20, MaxParity: 5, Proactive: 2, ShardSize: 64,
 	}
 	if depth > 0 {
-		cfg.Pipeline = core.PipelineConfig{Depth: depth, Workers: 2, Batch: 16}
+		cfg.Pipeline = core.PipelineConfig{Depth: depth, Workers: 2, Batch: 16, EncodeShards: shards}
 	}
 	s, err := core.NewSender(env, cfg)
 	if err != nil {

@@ -34,6 +34,7 @@ func main() {
 		depth    = flag.Int("depth", 0, "transmit pipeline depth in TGs (0 = serial reference path)")
 		workers  = flag.Int("workers", 0, "encode-ahead worker goroutines (0 = default when -depth > 0)")
 		batch    = flag.Int("batch", 0, "max packets per batched send (0 = default when -depth > 0)")
+		eshards  = flag.Int("encode-shards", 0, "parity-row shards per encode job, output bytes identical at any value (0 = default when -depth > 0)")
 		maddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/trace on this address (off when empty)")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 		Proactive: *a,
 		Carousel:  *carousel,
 		Adaptive:  *adaptive,
-		Pipeline:  core.PipelineConfig{Depth: *depth, Workers: *workers, Batch: *batch},
+		Pipeline:  core.PipelineConfig{Depth: *depth, Workers: *workers, Batch: *batch, EncodeShards: *eshards},
 	}
 	if *maddr != "" {
 		cfg.Metrics = metrics.NewRegistry()

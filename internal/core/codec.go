@@ -19,6 +19,12 @@ type erasureCodec interface {
 	// overwritten. One call validates and encodes a whole pre-encode
 	// burst instead of nb*h EncodeParity round trips.
 	EncodeBlocks(data, parity [][]byte) error
+	// EncodeBlocksShard encodes only the parity rows r = b*h + j with
+	// r % nshards == shard, leaving the rest of parity untouched. Running
+	// every shard — in any order or concurrently over one shared parity
+	// slice — is byte-identical to EncodeBlocks; this is the decomposition
+	// the sharded encode-ahead path parallelises over.
+	EncodeBlocksShard(data, parity [][]byte, shard, nshards int) error
 	// Reconstruct rebuilds missing data shards in place; shards has
 	// length k+h with nil marking losses.
 	Reconstruct(shards [][]byte) error
@@ -30,7 +36,10 @@ func (g gf8Codec) EncodeParity(j int, data [][]byte) ([]byte, error) {
 	return g.c.EncodeParity(j, data, nil)
 }
 func (g gf8Codec) EncodeBlocks(data, parity [][]byte) error { return g.c.EncodeBlocks(data, parity) }
-func (g gf8Codec) Reconstruct(shards [][]byte) error        { return g.c.Reconstruct(shards) }
+func (g gf8Codec) EncodeBlocksShard(data, parity [][]byte, shard, nshards int) error {
+	return g.c.EncodeBlocksShard(data, parity, shard, nshards)
+}
+func (g gf8Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
 
 type gf16Codec struct{ c *rse16.Code }
 
@@ -38,7 +47,10 @@ func (g gf16Codec) EncodeParity(j int, data [][]byte) ([]byte, error) {
 	return g.c.EncodeParity(j, data)
 }
 func (g gf16Codec) EncodeBlocks(data, parity [][]byte) error { return g.c.EncodeBlocks(data, parity) }
-func (g gf16Codec) Reconstruct(shards [][]byte) error        { return g.c.Reconstruct(shards) }
+func (g gf16Codec) EncodeBlocksShard(data, parity [][]byte, shard, nshards int) error {
+	return g.c.EncodeBlocksShard(data, parity, shard, nshards)
+}
+func (g gf16Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
 
 // newCodec selects the backend for the configuration: GF(2^8) whenever the
 // block fits in 255 packets, GF(2^16) beyond that. When the config carries

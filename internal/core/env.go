@@ -55,8 +55,14 @@ type Env interface {
 // rule of Env.Multicast applies to every element: nothing may be retained
 // after the call returns. Control packets never travel in batches, so
 // per-plane accounting stays exact.
+//
+// MulticastBatch returns how many leading frames were handed to the
+// medium before the first failure: sent == len(frames) and a nil error on
+// full success; on error, frames[:sent] left and frames[sent:] did not.
+// Callers use the count for exact per-frame error accounting across
+// partial sends (sendmmsg can succeed for a prefix of a batch).
 type BatchEnv interface {
-	MulticastBatch(frames [][]byte) error
+	MulticastBatch(frames [][]byte) (sent int, err error)
 }
 
 // PipelineConfig tunes the sender's pipelined transmit path. The zero
@@ -74,6 +80,17 @@ type PipelineConfig struct {
 	// transport per pacing tick (via BatchEnv when available). Defaults to
 	// 32 when Depth > 0; 1 keeps per-packet pacing with the pipeline on.
 	Batch int
+	// EncodeShards splits each encode job's parity rows across that many
+	// pool jobs, so one transmission group's encode can run on several
+	// workers at once (row r of a batch goes to shard r % EncodeShards).
+	// The output is byte-identical to the serial encoder for every value —
+	// shards own disjoint rows and each row is computed by the same
+	// generator-row kernel — so this is purely a throughput knob for
+	// encode-bound (high-proactive) senders on multi-core hosts. Defaults
+	// to 1 (one job per TG, the pre-sharding behaviour) when Depth > 0.
+	// It also widens the PreEncode burst: with the pipeline enabled the
+	// burst is split into Workers*EncodeShards row shards run in parallel.
+	EncodeShards int
 }
 
 // enabled reports whether any pipelined behaviour is configured.
@@ -174,6 +191,9 @@ func (c *Config) Defaults() {
 		if c.Pipeline.Batch == 0 {
 			c.Pipeline.Batch = 32
 		}
+		if c.Pipeline.EncodeShards == 0 {
+			c.Pipeline.EncodeShards = 1
+		}
 	}
 }
 
@@ -212,6 +232,9 @@ func (c *Config) Validate() error {
 		}
 		if c.Pipeline.Batch < 1 || c.Pipeline.Batch > 4096 {
 			return fmt.Errorf("core: Pipeline.Batch = %d, need 1..4096", c.Pipeline.Batch)
+		}
+		if c.Pipeline.EncodeShards < 1 || c.Pipeline.EncodeShards > 256 {
+			return fmt.Errorf("core: Pipeline.EncodeShards = %d, need 1..256", c.Pipeline.EncodeShards)
 		}
 	}
 	return nil

@@ -41,16 +41,19 @@ type senderMetrics struct {
 	encoded       *metrics.Counter
 	sourcePkts    *metrics.Counter
 	groups        *metrics.Counter
+	txErrors      *metrics.Counter
 	queueDepth    *metrics.Gauge
 	tgTx          *metrics.Histogram
 
 	// Pipelined-path instruments (np_pipeline_*). Registered even for a
 	// serial sender so the exposition schema does not depend on the
 	// Pipeline knob; they simply stay zero when Depth = 0.
-	encHits   *metrics.Counter   // encode-ahead window was deep enough
-	encMisses *metrics.Counter   // engine had to block on the encode pool
-	encQueue  *metrics.Gauge     // encode jobs submitted but not yet collected
-	batchPkts *metrics.Histogram // data-plane frames per transmitted batch
+	encHits    *metrics.Counter   // encode-ahead window was deep enough
+	encMisses  *metrics.Counter   // engine had to block on the encode pool
+	encQueue   *metrics.Gauge     // encode jobs submitted but not yet collected
+	batchPkts  *metrics.Histogram // data-plane frames per transmitted batch
+	shardJobs  *metrics.Counter   // sharded encode jobs executed on the pool
+	shardWidth *metrics.Gauge     // configured EncodeShards of the live transfer
 }
 
 // batchBuckets bounds the np_pipeline_batch_packets histogram: powers of
@@ -94,6 +97,8 @@ func newSenderMetrics(r *metrics.Registry, k int) senderMetrics {
 			"original data packets of the message (groups x k); the E[M] denominator"),
 		groups: r.Counter("np_sender_groups_total",
 			"transmission groups of the message"),
+		txErrors: r.Counter("np_sender_tx_errors_total",
+			"data/control frames the transport reported as failed to send"),
 		queueDepth: r.Gauge("np_sender_sendq_depth",
 			"current depth of the paced send queue (packets)"),
 		tgTx: r.Histogram("np_sender_tg_transmissions",
@@ -106,6 +111,10 @@ func newSenderMetrics(r *metrics.Registry, k int) senderMetrics {
 		batchPkts: r.Histogram("np_pipeline_batch_packets",
 			"data-plane frames handed to the transport per batched transmission",
 			batchBuckets),
+		shardJobs: r.Counter("np_pipeline_encode_shard_jobs_total",
+			"row-sharded encode jobs executed on the worker pool (EncodeShards per TG)"),
+		shardWidth: r.Gauge("np_pipeline_encode_shard_width",
+			"EncodeShards of the transfer in flight: parity-row shards per encode-ahead TG"),
 	}
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
 
 	"rmfec/internal/loss"
+	"rmfec/internal/metrics"
 	"rmfec/internal/packet"
 )
 
@@ -22,11 +24,11 @@ type sinkEnv struct {
 
 func newSinkEnv(seed int64) *sinkEnv { return &sinkEnv{rng: rand.New(rand.NewSource(seed))} }
 
-func (e *sinkEnv) Now() time.Duration              { return e.now }
-func (e *sinkEnv) Rand() *rand.Rand                { return e.rng }
-func (e *sinkEnv) Multicast(b []byte) error        { return nil }
-func (e *sinkEnv) MulticastControl(b []byte) error { return nil }
-func (e *sinkEnv) MulticastBatch(f [][]byte) error { e.batches++; return nil }
+func (e *sinkEnv) Now() time.Duration                     { return e.now }
+func (e *sinkEnv) Rand() *rand.Rand                       { return e.rng }
+func (e *sinkEnv) Multicast(b []byte) error               { return nil }
+func (e *sinkEnv) MulticastControl(b []byte) error        { return nil }
+func (e *sinkEnv) MulticastBatch(f [][]byte) (int, error) { e.batches++; return len(f), nil }
 func (e *sinkEnv) After(d time.Duration, fn func()) (cancel func()) {
 	e.now += d
 	e.pending = fn
@@ -167,13 +169,13 @@ func TestReceiverSteadyStateZeroAlloc(t *testing.T) {
 // transcript tests cover the MulticastBatch ordering too.
 type batchLoopEnv struct{ *loopEnv }
 
-func (e batchLoopEnv) MulticastBatch(frames [][]byte) error {
-	for _, f := range frames {
+func (e batchLoopEnv) MulticastBatch(frames [][]byte) (int, error) {
+	for i, f := range frames {
 		if err := e.Multicast(f); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return nil
+	return len(frames), nil
 }
 
 // TestPipelinedTranscriptMatchesSerial is the PR's equivalence gate: under
@@ -207,6 +209,24 @@ func TestPipelinedTranscriptMatchesSerial(t *testing.T) {
 				base.name, got, serial)
 		}
 
+		// Sharded encode-ahead: splitting each group's parity rows across
+		// several pool jobs must not move a single byte — shards own
+		// disjoint rows computed by the same kernels.
+		for _, shards := range []int{2, 4, 16} {
+			sharded := base.cfg
+			sharded.Pipeline = PipelineConfig{Depth: 8, Workers: 3, Batch: 1, EncodeShards: shards}
+			if got := senderTranscript(t, sharded, base.msg); got != serial {
+				t.Errorf("%s: EncodeShards=%d transcript differs from serial:\n got %s\nwant %s",
+					base.name, shards, got, serial)
+			}
+		}
+		shardedBatched := base.cfg
+		shardedBatched.Pipeline = PipelineConfig{Depth: 4, Workers: 2, Batch: 16, EncodeShards: 3}
+		if got := senderTranscript(t, shardedBatched, base.msg); got != serial {
+			t.Errorf("%s: sharded batched transcript differs from serial:\n got %s\nwant %s",
+				base.name, got, serial)
+		}
+
 		// Same batched config through a BatchEnv-capable transport.
 		env := newLoopEnv(1)
 		s, err := NewSender(batchLoopEnv{env}, batched)
@@ -231,8 +251,11 @@ func TestPipelinedTranscriptMatchesSerial(t *testing.T) {
 // With `make race` covering this package, it doubles as the race proof for
 // the engine/worker-pool seam.
 func TestPipelinedLossyTransfer(t *testing.T) {
+	// EncodeShards: 2 splits each group's proactive encode across two pool
+	// jobs, so the lossy run (and `make race` over it) also covers the
+	// sharded encode-ahead seam.
 	cfg := Config{Session: 7, K: 8, MaxParity: 16, Proactive: 2, ShardSize: 64,
-		Pipeline: PipelineConfig{Depth: 4, Workers: 2, Batch: 8}}
+		Pipeline: PipelineConfig{Depth: 4, Workers: 2, Batch: 8, EncodeShards: 2}}
 	h := newHarness(t, harnessOpts{
 		r:   5,
 		cfg: cfg,
@@ -253,4 +276,102 @@ func TestPipelinedLossyTransfer(t *testing.T) {
 		t.Error("pipelined sender recorded no batched transmissions")
 	}
 	h.sender.Close()
+}
+
+// flakyEnv injects per-call send failures on the serial transmit path.
+type flakyEnv struct {
+	*sinkEnv
+	every  int // fail every Nth Multicast/MulticastControl
+	calls  int
+	failed int
+}
+
+func (e *flakyEnv) send() error {
+	e.calls++
+	if e.every > 0 && e.calls%e.every == 0 {
+		e.failed++
+		return errors.New("flaky: injected send failure")
+	}
+	return nil
+}
+func (e *flakyEnv) Multicast(b []byte) error        { return e.send() }
+func (e *flakyEnv) MulticastControl(b []byte) error { return e.send() }
+
+// partialBatchEnv injects partial batch sends: every MulticastBatch call
+// loses its trailing `drop` frames (all of them for short batches).
+type partialBatchEnv struct {
+	*sinkEnv
+	drop   int
+	failed int
+}
+
+func (e *partialBatchEnv) MulticastBatch(f [][]byte) (int, error) {
+	lost := e.drop
+	if lost > len(f) {
+		lost = len(f)
+	}
+	e.failed += lost
+	if lost == 0 {
+		return len(f), nil
+	}
+	return len(f) - lost, errors.New("partial: injected batch failure")
+}
+
+// TestSenderTxErrorAccounting pins the send-error contract: a failed
+// frame is never retried (datagrams are best-effort; the NAK path repairs
+// gaps) but every failure is counted in SenderStats.TxErrors and the
+// np_sender_tx_errors_total counter — on the serial path, and frame-exactly
+// across partial batch sends on the batched path.
+func TestSenderTxErrorAccounting(t *testing.T) {
+	t.Run("serial", func(t *testing.T) {
+		env := &flakyEnv{sinkEnv: newSinkEnv(3), every: 3}
+		reg := metrics.NewRegistry()
+		cfg := Config{Session: 9, K: 4, MaxParity: 2, Proactive: 1,
+			ShardSize: 32, Delta: time.Millisecond, Metrics: reg}
+		s, err := NewSender(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.Send(make([]byte, 10*4*32)); err != nil {
+			t.Fatal(err)
+		}
+		for env.step() {
+		}
+		if env.failed == 0 {
+			t.Fatal("no failures injected; test is vacuous")
+		}
+		if got := s.Stats().TxErrors; got != env.failed {
+			t.Errorf("Stats().TxErrors = %d, env failed %d sends", got, env.failed)
+		}
+		if got := s.m.txErrors.Value(); got != uint64(env.failed) {
+			t.Errorf("np_sender_tx_errors_total = %d, want %d", got, env.failed)
+		}
+	})
+	t.Run("batched-partial", func(t *testing.T) {
+		env := &partialBatchEnv{sinkEnv: newSinkEnv(4), drop: 2}
+		reg := metrics.NewRegistry()
+		cfg := Config{Session: 9, K: 8, MaxParity: 4, Proactive: 0,
+			ShardSize: 32, Delta: time.Millisecond, Metrics: reg,
+			Pipeline: PipelineConfig{Depth: 2, Workers: 2, Batch: 8}}
+		s, err := NewSender(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.Send(make([]byte, 12*8*32)); err != nil {
+			t.Fatal(err)
+		}
+		for env.step() {
+		}
+		if env.failed == 0 {
+			t.Fatal("no partial sends injected; test is vacuous")
+		}
+		if got := s.Stats().TxErrors; got != env.failed {
+			t.Errorf("Stats().TxErrors = %d, env dropped %d frames", got, env.failed)
+		}
+		if got := s.m.txErrors.Value(); got != uint64(env.failed) {
+			t.Errorf("np_sender_tx_errors_total = %d, want %d", got, env.failed)
+		}
+	})
 }

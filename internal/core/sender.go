@@ -22,6 +22,7 @@ type SenderStats struct {
 	NakRx     int // NAKs received
 	NakServed int // NAKs that triggered a parity round
 	Encoded   int // parity shards actually encoded (0 extra if pre-encoded)
+	TxErrors  int // frames the transport reported as failed to send
 }
 
 // PipelineStats reports the pipelined path's behaviour for one transfer.
@@ -65,12 +66,17 @@ type Sender struct {
 	closed  bool
 	started bool
 
-	// Encode-ahead pool; nil on the serial path. encAhead parities per TG
-	// are computed by job g before the group is needed; encDone counts
-	// collected jobs for the queue-depth gauge.
-	enc      *pipeline.Pool
-	encAhead int
-	encDone  int
+	// Encode-ahead pool; nil on the serial path. The first encAhead
+	// parities of TG g are computed by the encShards pool jobs
+	// [g*encShards, (g+1)*encShards) before the group is needed — each job
+	// owns the parity rows j with j % encShards == its shard index, so one
+	// group's encode spreads across up to encShards workers while staying
+	// byte-identical to the serial encoder (disjoint rows, same row
+	// kernel). encDone counts collected jobs for the queue-depth gauge.
+	enc       *pipeline.Pool
+	encAhead  int
+	encShards int
+	encDone   int
 
 	pumpCb func() // hoisted pacing callback; one closure per Sender
 
@@ -204,11 +210,34 @@ func (s *Sender) Send(msg []byte) error {
 	if s.cfg.PreEncode && s.cfg.MaxParity > 0 {
 		// Fig 18's improvement (i): compute every parity before the
 		// transfer starts so encoding never competes with sending. The
-		// whole burst goes through the codec's batch entry point in one
-		// call.
+		// whole burst goes through the codec's batch entry point — in one
+		// call when serial, or split into row shards across a one-shot
+		// worker pool when the pipeline is configured. Sharding changes
+		// only which goroutine computes each parity row, never its bytes,
+		// and every shard validates identically, so the first error (if
+		// any) is the same one the serial call would return.
 		flatParity := make([][]byte, nTG*s.cfg.MaxParity)
-		if err := s.code.EncodeBlocks(flatData, flatParity); err != nil {
-			return err
+		nsh := 1
+		if s.cfg.Pipeline.enabled() {
+			nsh = s.cfg.Pipeline.Workers * s.cfg.Pipeline.EncodeShards
+			if rows := nTG * s.cfg.MaxParity; nsh > rows {
+				nsh = rows
+			}
+		}
+		if nsh <= 1 {
+			if err := s.code.EncodeBlocks(flatData, flatParity); err != nil {
+				return err
+			}
+		} else {
+			errs := make([]error, nsh)
+			pipeline.Run(nsh, s.cfg.Pipeline.Workers, func(i int) {
+				errs[i] = s.code.EncodeBlocksShard(flatData, flatParity, i, nsh)
+			})
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
 		}
 		for g, tg := range s.groups {
 			tg.parities = flatParity[g*s.cfg.MaxParity : (g+1)*s.cfg.MaxParity : (g+1)*s.cfg.MaxParity]
@@ -219,14 +248,25 @@ func (s *Sender) Send(msg []byte) error {
 	s.frames.minCap = packet.HeaderLen + s.cfg.ShardSize
 	if s.cfg.Pipeline.enabled() && !s.cfg.PreEncode &&
 		s.cfg.Proactive > 0 && s.cfg.MaxParity > 0 {
-		// Encode-ahead: job g computes TG g's proactive parities on the
-		// worker pool while earlier groups are on the wire. The window is
-		// static (Config.Proactive) even in Adaptive mode, where the EWMA
-		// may ask for more — the engine tops those up serially, exactly as
-		// it tops up NAK repairs beyond the window.
+		// Encode-ahead: TG g's proactive parities are computed on the
+		// worker pool while earlier groups are on the wire, split across
+		// encShards row-sharded jobs per group. The window is static
+		// (Config.Proactive) even in Adaptive mode, where the EWMA may ask
+		// for more — the engine tops those up serially, exactly as it tops
+		// up NAK repairs beyond the window. The parity slices are
+		// pre-allocated here, on the engine, so concurrent shard jobs of
+		// one group fill disjoint entries of a slice they never resize.
 		s.encAhead = s.cfg.Proactive
-		s.enc = pipeline.New(nTG, s.cfg.Pipeline.Workers, s.encodeJob)
-		s.enc.Prefetch(s.cfg.Pipeline.Depth - 1)
+		s.encShards = s.cfg.Pipeline.EncodeShards
+		if s.encShards > s.encAhead {
+			s.encShards = s.encAhead // one row per shard is the finest split
+		}
+		for _, tg := range s.groups {
+			tg.parities = make([][]byte, s.encAhead)
+		}
+		s.m.shardWidth.Set(int64(s.encShards))
+		s.enc = pipeline.New(nTG*s.encShards, s.cfg.Pipeline.Workers, s.encodeJob)
+		s.enc.Prefetch(s.cfg.Pipeline.Depth*s.encShards - 1)
 	}
 	s.ewma = float64(s.cfg.Proactive)
 	s.finLeft = s.cfg.FinCount
@@ -236,52 +276,70 @@ func (s *Sender) Send(msg []byte) error {
 	return nil
 }
 
-// encodeJob computes TG g's first encAhead parities. It runs on a pool
-// worker and touches only group g's state; the engine reads tg.parities
-// only after Pool.Wait(g), which publishes the write. Row j here is
-// byte-identical to the serial path's on-demand EncodeParity(j): both the
-// batch and the single-row codec entry points evaluate the same generator
-// row, which is what keeps a pipelined zero-loss transcript equal to the
-// serial one.
-func (s *Sender) encodeJob(g int) {
+// encodeJob computes one row shard of a TG's first encAhead parities:
+// pool job idx covers group idx/encShards, shard idx%encShards, and owns
+// the parity rows j with j % encShards == shard. It runs on a pool worker
+// and writes only its own disjoint entries of the group's pre-allocated
+// parities slice; the engine reads them only after collectParities has
+// Waited on every shard job of the group, which publishes the writes.
+// Row j here is byte-identical to the serial path's on-demand
+// EncodeParity(j) at ANY shard count: the batch, sharded-batch and
+// single-row codec entry points all evaluate the same generator row,
+// which is what keeps a pipelined zero-loss transcript equal to the
+// serial one. A failed row is left empty and re-encoded serially by
+// parityPacket.
+func (s *Sender) encodeJob(idx int) {
+	g, sh := idx/s.encShards, idx%s.encShards
 	tg := s.groups[g]
-	ps := make([][]byte, s.encAhead)
+	s.m.shardJobs.Inc()
 	if s.encAhead == s.cfg.MaxParity {
-		if err := s.code.EncodeBlocks(tg.data, ps); err != nil {
-			return // leave parities nil; the engine re-encodes serially
-		}
-	} else {
-		for j := range ps {
-			shard, err := s.code.EncodeParity(j, tg.data)
-			if err != nil {
-				return
-			}
-			ps[j] = shard
-		}
+		s.code.EncodeBlocksShard(tg.data, tg.parities, sh, s.encShards) //nolint:errcheck // failed rows stay empty; engine re-encodes
+		return
 	}
-	tg.parities = ps
+	for j := sh; j < s.encAhead; j += s.encShards {
+		shard, err := s.code.EncodeParity(j, tg.data)
+		if err != nil {
+			return
+		}
+		tg.parities[j] = shard
+	}
 }
 
-// collectParities folds the encode-ahead job of tg into the engine: waits
-// for it if needed (a miss), advances the prefetch window, and accounts the
-// encoded shards. No-op on the serial path and after the first collection.
+// collectParities folds the encode-ahead jobs of tg into the engine:
+// waits on every row shard of the group (a hit only when ALL shards were
+// already complete), advances the prefetch window by whole groups, and
+// accounts the encoded shards. No-op on the serial path and after the
+// first collection.
 func (s *Sender) collectParities(tg *txGroup) {
 	if s.enc == nil || tg.collected {
 		return
 	}
 	tg.collected = true
-	if s.enc.Wait(int(tg.index)) {
+	base := int(tg.index) * s.encShards
+	ready := true
+	for sh := 0; sh < s.encShards; sh++ {
+		if !s.enc.Wait(base + sh) {
+			ready = false
+		}
+	}
+	if ready {
 		s.pstats.EncodeHits++
 		s.m.encHits.Inc()
 	} else {
 		s.pstats.EncodeMisses++
 		s.m.encMisses.Inc()
 	}
-	s.encDone++
-	s.enc.Prefetch(int(tg.index) + s.cfg.Pipeline.Depth)
+	s.encDone += s.encShards
+	s.enc.Prefetch((int(tg.index)+s.cfg.Pipeline.Depth)*s.encShards + s.encShards - 1)
 	s.m.encQueue.Set(int64(s.enc.Submitted() - s.encDone))
-	s.stats.Encoded += len(tg.parities)
-	s.m.encoded.Add(uint64(len(tg.parities)))
+	enc := 0
+	for _, p := range tg.parities {
+		if len(p) > 0 {
+			enc++
+		}
+	}
+	s.stats.Encoded += enc
+	s.m.encoded.Add(uint64(enc))
 }
 
 // proactiveFor returns the number of parities sent with a group's first
@@ -485,9 +543,10 @@ func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
 		return nil, fmt.Errorf("core: parity index %d beyond budget %d", j, s.cfg.MaxParity)
 	}
 	var shard []byte
-	if j < len(tg.parities) {
+	if j < len(tg.parities) && len(tg.parities[j]) > 0 {
 		// Pre-encoded: either the PreEncode burst or the collected
-		// encode-ahead job.
+		// encode-ahead jobs. An empty entry means the job failed or was
+		// abandoned; fall through to the serial encode below.
 		shard = tg.parities[j]
 	} else {
 		var err error
@@ -582,11 +641,20 @@ func (s *Sender) pumpBatch() int {
 		s.pstats.Batches++
 		s.pstats.BatchedPkts += len(s.batch)
 		s.m.batchPkts.Observe(float64(len(s.batch)))
+		// Datagrams are best-effort — a failed frame is NOT retried (the
+		// NAK path repairs any resulting gap) — but failures are counted,
+		// not dropped: sent tells exactly how many leading frames made it,
+		// so partial batch sends account frame-exactly.
 		if s.benv != nil {
-			s.benv.MulticastBatch(s.batch) //nolint:errcheck // best-effort datagrams
+			sent, err := s.benv.MulticastBatch(s.batch)
+			if err != nil {
+				s.countTxErrors(len(s.batch) - sent)
+			}
 		} else {
 			for _, f := range s.batch {
-				s.env.Multicast(f) //nolint:errcheck // best-effort datagrams
+				if err := s.env.Multicast(f); err != nil {
+					s.countTxErrors(1)
+				}
 			}
 		}
 		for i, f := range s.batch {
@@ -626,12 +694,28 @@ func (s *Sender) account(out outPkt) {
 	}
 }
 
+// countTxErrors records n frames the transport failed to send, in both
+// the stats snapshot and the live counter.
+func (s *Sender) countTxErrors(n int) {
+	if n <= 0 {
+		return
+	}
+	s.stats.TxErrors += n
+	s.m.txErrors.Add(uint64(n))
+}
+
 func (s *Sender) transmit(out outPkt) {
 	s.account(out)
+	var err error
 	if out.control {
-		s.env.MulticastControl(out.wire) //nolint:errcheck // best-effort datagrams
+		err = s.env.MulticastControl(out.wire)
 	} else {
-		s.env.Multicast(out.wire) //nolint:errcheck // best-effort datagrams
+		err = s.env.Multicast(out.wire)
+	}
+	if err != nil {
+		// Best-effort datagrams: no retry (the NAK path repairs gaps), but
+		// the failure is counted instead of silently dropped.
+		s.countTxErrors(1)
 	}
 	s.frames.put(out.wire)
 }

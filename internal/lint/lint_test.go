@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -515,4 +516,41 @@ func TestDefaultConfigCoversInternalDocs(t *testing.T) {
 	if pathHasPrefix("cmd/npsend", cfg.DocPackagePrefixes) {
 		t.Error("cmd/ should not be covered by DocPackagePrefixes")
 	}
+}
+
+// TestBuildConstraintsSelectOnePlatform proves the loader filters files
+// through go/build's constraint evaluation: per-platform implementations
+// of one symbol (//go:build tags and _GOOS filename suffixes) must
+// type-check as this platform's coherent file set, not collide as
+// redeclarations.
+func TestBuildConstraintsSelectOnePlatform(t *testing.T) {
+	foreign := "windows"
+	if runtime.GOOS == "windows" {
+		foreign = "linux"
+	}
+	got := runFixture(t, Config{}, map[string]string{
+		"tp/tp.go": `// Package tp has per-platform sendpath implementations.
+package tp
+
+// Send uses the platform fast path.
+func Send() int { return fastpath() }
+`,
+		"tp/fast_linux.go": `//go:build linux
+
+package tp
+
+func fastpath() int { return 1 }
+`,
+		"tp/fast_other.go": `//go:build !linux
+
+package tp
+
+func fastpath() int { return 0 }
+`,
+		"tp/deep_" + foreign + ".go": `package tp
+
+func fastpath() int { return 2 } // would redeclare if filename tags were ignored
+`,
+	})
+	wantDiags(t, got) // no type-error findings: exactly one fastpath survives
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -124,8 +125,14 @@ type loader struct {
 }
 
 // discover walks the module, parses every buildable package and returns the
-// sorted module-relative dirs that contain one.
+// sorted module-relative dirs that contain one. Files are filtered through
+// the same build-constraint evaluation `go build` uses (//go:build lines
+// and _GOOS/_GOARCH filename suffixes, via build.Context.MatchFile), so a
+// package with per-platform implementations of one symbol type-checks as
+// the single coherent file set this platform would compile, not as a
+// redeclaration soup.
 func (l *loader) discover() ([]string, error) {
+	bctx := build.Default
 	var rels []string
 	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -141,6 +148,9 @@ func (l *loader) discover() ([]string, error) {
 		}
 		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
+		}
+		if ok, err := bctx.MatchFile(filepath.Dir(path), d.Name()); err != nil || !ok {
+			return err
 		}
 		rel, err := filepath.Rel(l.root, filepath.Dir(path))
 		if err != nil {

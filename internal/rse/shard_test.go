@@ -1,0 +1,211 @@
+package rse
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rmfec/internal/metrics"
+)
+
+// randBlocks builds nb*k data shards of the given size from a fixed seed.
+func randBlocks(t *testing.T, nb, k, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]byte, nb*k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+// TestEncodeBlocksShardMatchesSerial is the equivalence property test: for
+// every shard count 1..16, running all shards (serially here; the race
+// variant below runs them concurrently) over the same batch must produce
+// parity byte-identical to the serial EncodeBlocks, across a sweep of
+// (k, h, nb, size) operating points including the paper's k=7 and k=20.
+func TestEncodeBlocksShardMatchesSerial(t *testing.T) {
+	cases := []struct{ k, h, nb, size int }{
+		{1, 1, 1, 1},
+		{1, 3, 4, 17},
+		{7, 7, 3, 64},
+		{20, 5, 8, 256},
+		{20, 5, 1, 1024},
+		{5, 2, 16, 33},
+		{100, 30, 2, 40},
+	}
+	for _, tc := range cases {
+		c := MustNew(tc.k, tc.h)
+		data := randBlocks(t, tc.nb, tc.k, tc.size, int64(tc.k*1000+tc.h*100+tc.nb))
+		want := make([][]byte, tc.nb*tc.h)
+		if err := c.EncodeBlocks(data, want); err != nil {
+			t.Fatalf("k=%d h=%d nb=%d: serial EncodeBlocks: %v", tc.k, tc.h, tc.nb, err)
+		}
+		for nshards := 1; nshards <= 16; nshards++ {
+			got := make([][]byte, tc.nb*tc.h)
+			for s := 0; s < nshards; s++ {
+				if err := c.EncodeBlocksShard(data, got, s, nshards); err != nil {
+					t.Fatalf("k=%d h=%d nb=%d nshards=%d shard=%d: %v", tc.k, tc.h, tc.nb, nshards, s, err)
+				}
+			}
+			for r := range want {
+				if !bytes.Equal(got[r], want[r]) {
+					t.Fatalf("k=%d h=%d nb=%d nshards=%d: parity row %d differs from serial",
+						tc.k, tc.h, tc.nb, nshards, r)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeBlocksShardConcurrent runs every shard of a partition on its
+// own goroutine against one shared parity slice — the exact access pattern
+// the pipelined sender uses — and checks byte-identity with the serial
+// reference. Run under -race this doubles as the data-race proof that
+// disjoint row ownership is sound.
+func TestEncodeBlocksShardConcurrent(t *testing.T) {
+	const k, h, nb, size = 20, 5, 8, 512
+	c := MustNew(k, h)
+	data := randBlocks(t, nb, k, size, 42)
+	want := make([][]byte, nb*h)
+	if err := c.EncodeBlocks(data, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, nshards := range []int{2, 3, 4, 8, 16} {
+		got := make([][]byte, nb*h)
+		errs := make([]error, nshards)
+		var wg sync.WaitGroup
+		for s := 0; s < nshards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				errs[s] = c.EncodeBlocksShard(data, got, s, nshards)
+			}(s)
+		}
+		wg.Wait()
+		for s, err := range errs {
+			if err != nil {
+				t.Fatalf("nshards=%d shard=%d: %v", nshards, s, err)
+			}
+		}
+		for r := range want {
+			if !bytes.Equal(got[r], want[r]) {
+				t.Fatalf("nshards=%d: parity row %d differs from serial", nshards, r)
+			}
+		}
+	}
+}
+
+// TestEncodeBlocksShardErrors pins the argument validation: every shard of
+// a partition must report the same error for the same bad batch, so a
+// parallel caller sees deterministic failures.
+func TestEncodeBlocksShardErrors(t *testing.T) {
+	c := MustNew(4, 2)
+	data := randBlocks(t, 2, 4, 16, 7)
+	parity := make([][]byte, 4)
+	if err := c.EncodeBlocksShard(data, parity, -1, 2); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if err := c.EncodeBlocksShard(data, parity, 2, 2); err == nil {
+		t.Error("shard >= nshards accepted")
+	}
+	if err := c.EncodeBlocksShard(data, parity, 0, 0); err == nil {
+		t.Error("nshards=0 accepted")
+	}
+	// Bad shapes must fail identically on every shard.
+	for s := 0; s < 3; s++ {
+		if err := c.EncodeBlocksShard(data[:3], parity, s, 3); err == nil {
+			t.Errorf("shard %d: ragged data accepted", s)
+		}
+		if err := c.EncodeBlocksShard(data, parity[:3], s, 3); err == nil {
+			t.Errorf("shard %d: short parity accepted", s)
+		}
+	}
+	// A mid-batch size mismatch fails on every shard, including shards
+	// that own no row of the bad block.
+	bad := randBlocks(t, 2, 4, 16, 8)
+	bad[5] = bad[5][:7]
+	for s := 0; s < 4; s++ {
+		if err := c.EncodeBlocksShard(bad, parity, s, 4); err == nil {
+			t.Errorf("shard %d: inconsistent shard sizes accepted", s)
+		}
+	}
+}
+
+// TestEncodeBlocksShardCountsBytes checks the EncodeBytes instrument sums
+// to the serial total across any partition — per-row accounting, no
+// double counting.
+func TestEncodeBlocksShardCountsBytes(t *testing.T) {
+	const k, h, nb, size = 7, 3, 5, 128
+	for _, nshards := range []int{1, 2, 4, 7} {
+		c := MustNew(k, h)
+		ins := RegisterInstruments(metrics.NewRegistry())
+		c.Instrument(ins)
+		data := randBlocks(t, nb, k, size, 11)
+		parity := make([][]byte, nb*h)
+		for s := 0; s < nshards; s++ {
+			if err := c.EncodeBlocksShard(data, parity, s, nshards); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := ins.EncodeBytes.Value(), uint64(nb*h*size); got != want {
+			t.Errorf("nshards=%d: EncodeBytes = %d, want %d", nshards, got, want)
+		}
+	}
+}
+
+// TestEncodeBlocksShardSteadyStateAllocs pins the zero-alloc contract of
+// the sharded path: with warmed (recycled) parity buffers a shard call
+// performs no heap allocations.
+func TestEncodeBlocksShardSteadyStateAllocs(t *testing.T) {
+	const k, h, nb, size = 20, 5, 4, 1024
+	c := MustNew(k, h)
+	data := randBlocks(t, nb, k, size, 3)
+	parity := make([][]byte, nb*h)
+	// Warm the buffers so sizeFor reuses capacity thereafter.
+	if err := c.EncodeBlocks(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	for _, nshards := range []int{1, 2, 4} {
+		nshards := nshards
+		allocs := testing.AllocsPerRun(50, func() {
+			for s := 0; s < nshards; s++ {
+				if err := c.EncodeBlocksShard(data, parity, s, nshards); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("nshards=%d: %v allocs/op on warmed sharded encode, want 0", nshards, allocs)
+		}
+	}
+}
+
+// shardDist sanity-checks the row-ownership arithmetic documented on
+// EncodeBlocksShard: every global row owned exactly once.
+func TestEncodeBlocksShardCoverage(t *testing.T) {
+	for _, nshards := range []int{1, 2, 3, 5, 16} {
+		const nb, h = 6, 4
+		owner := make([]int, nb*h)
+		for i := range owner {
+			owner[i] = -1
+		}
+		for s := 0; s < nshards; s++ {
+			for r := 0; r < nb*h; r++ {
+				if r%nshards == s {
+					if owner[r] != -1 {
+						t.Fatalf("nshards=%d: row %d owned twice", nshards, r)
+					}
+					owner[r] = s
+				}
+			}
+		}
+		for r, s := range owner {
+			if s == -1 {
+				t.Fatalf("nshards=%d: row %d unowned", nshards, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build linux && 386
+
+package udpcast
+
+// sysSendmmsg is the sendmmsg(2) syscall number on linux/386 (missing
+// from the stdlib syscall tables for this arch, like amd64).
+const sysSendmmsg uintptr = 345

@@ -1,0 +1,8 @@
+//go:build linux && amd64
+
+package udpcast
+
+// sysSendmmsg is the sendmmsg(2) syscall number on linux/amd64; the
+// stdlib syscall package predates the syscall and does not export it
+// for this arch (arch tables that do are used via batch_linux_sysnum.go).
+const sysSendmmsg uintptr = 307

@@ -1,0 +1,10 @@
+//go:build linux && !amd64 && !386
+
+package udpcast
+
+import "syscall"
+
+// sysSendmmsg comes straight from the stdlib tables on every Linux arch
+// except amd64/386, whose tables predate the syscall (see the sibling
+// files).
+const sysSendmmsg uintptr = syscall.SYS_SENDMMSG

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package udpcast
+
+// batcher is empty off Linux: MulticastBatch always uses the portable
+// per-frame Write loop. The type and methods exist so udpcast.go compiles
+// identically on every platform.
+type batcher struct{}
+
+// initBatch routes every batch through the portable path.
+func (c *Conn) initBatch() { c.portableBatch = true }
+
+// send is unreachable (portableBatch is always set off Linux) but keeps
+// the call site in MulticastBatch platform-independent.
+func (b *batcher) send(c *Conn, frames [][]byte) (int, error) {
+	return c.writeBatch(frames)
+}

@@ -75,13 +75,19 @@ func TestConcurrentCloseServeMulticast(t *testing.T) {
 }
 
 // TestConcurrentMulticastBatchClose races batched sends against single
-// sends, the read loop and Close. MulticastBatch takes no locks by design
-// (engine callbacks may call it re-entrantly), so -race must prove the
-// closed-flag fast path and the shared send socket stay coherent while the
-// connection is torn down mid-batch.
+// sends, the read loop and Close. MulticastBatch never takes the engine
+// mutex (engine callbacks may call it re-entrantly) and serialises its
+// platform scratch on batchMu only, so -race must prove the closed-flag
+// fast path, the shared send socket and the sendmmsg scratch stay
+// coherent while the connection is torn down mid-batch — on the kernel
+// batch path and the portable fallback alike.
 func TestConcurrentMulticastBatchClose(t *testing.T) {
 	for round := 0; round < 8; round++ {
 		c := join(t, groupAddr(t))
+		// Alternate the kernel batch path (sendmmsg on Linux) with the
+		// forced portable loop so -race covers the batch-syscall scratch
+		// versus Close teardown on both.
+		c.portableBatch = c.portableBatch || round%2 == 1
 		c.Serve(func(b []byte) { _ = len(b) })
 		var wg sync.WaitGroup
 		start := make(chan struct{})
@@ -96,7 +102,7 @@ func TestConcurrentMulticastBatchClose(t *testing.T) {
 				defer wg.Done()
 				<-start
 				for j := 0; j < 50; j++ {
-					if err := c.MulticastBatch(batch); err != nil {
+					if _, err := c.MulticastBatch(batch); err != nil {
 						return // closed under us: expected
 					}
 				}
@@ -124,8 +130,8 @@ func TestConcurrentMulticastBatchClose(t *testing.T) {
 
 		close(start)
 		wg.Wait()
-		if err := c.MulticastBatch(batch); err != ErrClosed {
-			t.Errorf("MulticastBatch after Close = %v, want ErrClosed", err)
+		if sent, err := c.MulticastBatch(batch); err != ErrClosed || sent != 0 {
+			t.Errorf("MulticastBatch after Close = (%d, %v), want (0, ErrClosed)", sent, err)
 		}
 	}
 }

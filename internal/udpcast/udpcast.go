@@ -40,6 +40,25 @@ type Conn struct {
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 
+	// batchMu guards the batch-send scratch (bt and batchHook): several
+	// goroutines may call MulticastBatch concurrently and the platform
+	// batcher reuses one mmsghdr/iovec array across calls. It is never
+	// taken by engine callbacks' re-entrant paths (send/After), so it
+	// cannot interact with the engine mutex.
+	batchMu sync.Mutex
+	// bt is the platform batch-send state: a sendmmsg(2) batcher on Linux
+	// (batch_linux.go), empty elsewhere (batch_other.go).
+	bt batcher
+	// portableBatch forces MulticastBatch onto the per-frame Write loop
+	// even where a kernel batch path exists. Set by tests (to cover the
+	// fallback on Linux) and by the batcher itself when the kernel rejects
+	// the syscall (ENOSYS/EPERM under strict seccomp).
+	portableBatch bool
+	// batchHook, when non-nil, replaces the wire send of MulticastBatch —
+	// a test seam for injecting partial sends and errors while keeping the
+	// accounting code under test identical to production.
+	batchHook func(frames [][]byte) (int, error)
+
 	m connMetrics
 }
 
@@ -50,6 +69,8 @@ type connMetrics struct {
 	txControl *metrics.Counter
 	txBytes   *metrics.Counter
 	txErrors  *metrics.Counter
+	sysBatch  *metrics.Counter // sendmmsg(2) invocations
+	sysWrite  *metrics.Counter // per-datagram write invocations
 	rxPkts    *metrics.Counter
 	rxBytes   *metrics.Counter
 	drops     *metrics.Counter
@@ -71,11 +92,18 @@ func (c *Conn) Instrument(r *metrics.Registry) {
 			"datagrams multicast, by protocol plane",
 			metrics.Label{Key: "plane", Value: plane})
 	}
+	sys := func(path string) *metrics.Counter {
+		return r.Counter("udpcast_tx_syscalls_total",
+			"send-side system calls, by path: one sendmmsg covers a whole batch chunk, one write covers one datagram",
+			metrics.Label{Key: "path", Value: path})
+	}
 	c.m = connMetrics{
 		txData:    tx("data"),
 		txControl: tx("control"),
 		txBytes:   r.Counter("udpcast_tx_bytes_total", "datagram payload bytes multicast"),
-		txErrors:  r.Counter("udpcast_tx_errors_total", "failed multicast writes (including after Close)"),
+		txErrors:  r.Counter("udpcast_tx_errors_total", "datagrams that failed to send (write errors, frames abandoned after a batch error, sends after Close)"),
+		sysBatch:  sys("sendmmsg"),
+		sysWrite:  sys("write"),
 		rxPkts:    r.Counter("udpcast_rx_packets_total", "datagrams delivered to the engine handler"),
 		rxBytes:   r.Counter("udpcast_rx_bytes_total", "datagram payload bytes delivered to the engine handler"),
 		drops:     r.Counter("udpcast_rx_dropped_total", "datagrams read but discarded because the Conn closed"),
@@ -108,7 +136,7 @@ func Join(group string, ifi *net.Interface) (*Conn, error) {
 		rc.Close()
 		return nil, fmt.Errorf("udpcast: dial %v: %w", addr, err)
 	}
-	return &Conn{
+	c := &Conn{
 		group: addr,
 		rc:    rc,
 		sc:    sc,
@@ -116,7 +144,11 @@ func Join(group string, ifi *net.Interface) (*Conn, error) {
 		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
 		//rmlint:ignore env-discipline this Conn IS the wall-clock core.Env implementation
 		start: time.Now(),
-	}, nil
+	}
+	// Platform batch-send setup (sendmmsg on Linux); on failure the Conn
+	// simply keeps the portable per-frame Write path.
+	c.initBatch()
+	return c, nil
 }
 
 // Now implements core.Env with wall-clock time relative to Join.
@@ -141,6 +173,7 @@ func (c *Conn) send(b []byte, plane *metrics.Counter) error {
 		c.m.txErrors.Inc()
 		return ErrClosed
 	}
+	c.m.sysWrite.Inc()
 	_, err := c.sc.Write(b)
 	if err != nil {
 		c.m.txErrors.Inc()
@@ -154,32 +187,62 @@ func (c *Conn) send(b []byte, plane *metrics.Counter) error {
 // MulticastBatch implements core.BatchEnv: it multicasts a run of
 // data-plane frames with one closed-check and one metrics update for the
 // whole batch, amortizing the per-send bookkeeping the pipelined sender
-// pays per pacing tick. Frames are written in order; the first write error
-// aborts the remainder and is returned. Like Multicast, it takes no locks
-// and may be called from engine callbacks, and no frame is retained after
-// the call returns.
+// pays per pacing tick. On Linux the frames leave through sendmmsg(2) —
+// one system call per chunk of up to batchChunk datagrams — falling back
+// to the per-frame Write loop elsewhere, when the kernel rejects the
+// syscall, or when portableBatch is set. Frames are written in order; it
+// returns how many leading frames were sent and the error that stopped
+// the rest (frames[:sent] left the host, frames[sent:] did not, and the
+// unsent remainder is counted in udpcast_tx_errors_total). Like
+// Multicast it never takes the engine mutex, so engine callbacks may
+// call it re-entrantly; concurrent MulticastBatch calls serialise on the
+// internal scratch lock. No frame is retained after the call returns.
 //
 //rmlint:hotpath
-func (c *Conn) MulticastBatch(frames [][]byte) error {
+func (c *Conn) MulticastBatch(frames [][]byte) (int, error) {
 	if c.closed.Load() {
-		c.m.txErrors.Inc()
-		return ErrClosed
+		c.m.txErrors.Add(uint64(len(frames)))
+		return 0, ErrClosed
+	}
+	c.batchMu.Lock()
+	var sent int
+	var err error
+	switch {
+	case c.batchHook != nil:
+		sent, err = c.batchHook(frames)
+	case c.portableBatch:
+		sent, err = c.writeBatch(frames)
+	default:
+		sent, err = c.bt.send(c, frames)
+	}
+	c.batchMu.Unlock()
+	if sent > len(frames) {
+		sent = len(frames) // defensive clamp over the test hook
 	}
 	var bytes uint64
-	sent := 0
-	for _, b := range frames {
-		if _, err := c.sc.Write(b); err != nil {
-			c.m.txData.Add(uint64(sent))
-			c.m.txBytes.Add(bytes)
-			c.m.txErrors.Inc()
-			return err
-		}
-		sent++
+	for _, b := range frames[:sent] {
 		bytes += uint64(len(b))
 	}
 	c.m.txData.Add(uint64(sent))
 	c.m.txBytes.Add(bytes)
-	return nil
+	if err != nil {
+		c.m.txErrors.Add(uint64(len(frames) - sent))
+	}
+	return sent, err
+}
+
+// writeBatch is the portable batch send: one write(2) per frame. It is
+// the only batch path off Linux and the forced/ENOSYS fallback on it.
+//
+//rmlint:hotpath
+func (c *Conn) writeBatch(frames [][]byte) (int, error) {
+	for i, b := range frames {
+		c.m.sysWrite.Inc()
+		if _, err := c.sc.Write(b); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
 }
 
 // After implements core.Env: fn runs on the engine mutex unless canceled

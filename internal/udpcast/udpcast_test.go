@@ -71,8 +71,8 @@ func TestMulticastBatchDelivery(t *testing.T) {
 	b.Serve(func(p []byte) { got <- append([]byte(nil), p...) })
 	time.Sleep(50 * time.Millisecond)
 	frames := [][]byte{[]byte("frame-0"), []byte("frame-1"), []byte("frame-2")}
-	if err := a.MulticastBatch(frames); err != nil {
-		t.Fatal(err)
+	if sent, err := a.MulticastBatch(frames); err != nil || sent != len(frames) {
+		t.Fatalf("MulticastBatch = (%d, %v), want (%d, nil)", sent, err, len(frames))
 	}
 	for i := range frames {
 		select {

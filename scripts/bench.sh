@@ -8,10 +8,12 @@
 # retained dense pre-PR engines, the NP loopback sender throughput
 # (pipelined encode-ahead + pooled frames + batched transmit against the
 # retained pre-PR serial transmit path, at the paper's k=20, h=5, 1 KiB
-# operating point), and one end-to-end `figures -quick` regeneration. The
-# snapshot goes to BENCH_PR5.json (median of several passes; see
-# cmd/bench). Compare snapshots across PRs to catch codec, protocol or
-# simulation regressions.
+# operating point), the per-core encode scaling sweep (GOMAXPROCS 1/2/4/8
+# with row-sharded parallel encode), measured syscalls/pkt on a real
+# multicast socket (sendmmsg vs per-frame write), and one end-to-end
+# `figures -quick` regeneration. The snapshot goes to BENCH_PR7.json
+# (median of several passes; see cmd/bench). Compare snapshots across PRs
+# to catch codec, protocol or simulation regressions.
 set -eu
 cd "$(dirname "$0")/.."
 

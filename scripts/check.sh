@@ -17,14 +17,18 @@
 #   6. go test -race    short-mode tests of the concurrent packages under
 #                       the race detector (udpcast transport, simnet
 #                       scheduler, core engines driven by both, the mcrun
-#                       parallel Monte-Carlo runner, and the encode-ahead
-#                       pipeline pool)
+#                       parallel Monte-Carlo runner, the encode-ahead
+#                       pipeline pool, and the row-sharded rse/rse16
+#                       parallel encode)
 #   7. bench smoke      one 1-pass NP loopback drain through cmd/bench
-#                       -np-only, so the end-to-end throughput tier
-#                       compiles and both sender paths drain to idle
+#                       -np-only, so the end-to-end throughput tiers
+#                       (including the per-core scaling sweep and the
+#                       sendmmsg syscall tier) compile and both sender
+#                       paths drain to idle
 #   8. transcripts      the sender transcript hash of a fixed transfer,
-#                       twice at pipeline depth 0 and once pipelined:
-#                       depth 0 must be deterministic run-to-run and the
+#                       twice at pipeline depth 0, once pipelined, and
+#                       once pipelined with sharded parallel encode:
+#                       depth 0 must be deterministic run-to-run and every
 #                       pipelined wire sequence byte-identical to serial
 #   9. figures diff     two `figures -quick` runs at different -parallel
 #                       values must produce byte-identical TSV output for
@@ -82,21 +86,26 @@ echo '== go test ./...'
 go test ./...
 
 echo '== go test -race -short (concurrent packages)'
-go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/
+go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/
 
 echo '== NP loopback bench smoke (cmd/bench -np-only, 1 pass)'
 go run ./cmd/bench -np-only -runs 1 -np-groups 40 -out - > /dev/null
 
-echo '== sender transcript determinism (depth 0 x2, pipelined x1)'
+echo '== sender transcript determinism (depth 0 x2, pipelined x1, sharded x1)'
 t0a=$(go run ./cmd/bench -transcript -depth 0)
 t0b=$(go run ./cmd/bench -transcript -depth 0)
 t8=$(go run ./cmd/bench -transcript -depth 8)
+t8s=$(go run ./cmd/bench -transcript -depth 8 -shards 4)
 if [ "$t0a" != "$t0b" ]; then
     echo "serial sender transcript not deterministic: $t0a vs $t0b" >&2
     exit 1
 fi
 if [ "$t0a" != "$t8" ]; then
     echo "pipelined sender transcript differs from serial: $t0a vs $t8" >&2
+    exit 1
+fi
+if [ "$t0a" != "$t8s" ]; then
+    echo "sharded-encode sender transcript differs from serial: $t0a vs $t8s" >&2
     exit 1
 fi
 
