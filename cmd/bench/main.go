@@ -1,5 +1,5 @@
 // Command bench runs the repository's performance gate and emits a
-// machine-readable snapshot (BENCH_PR7.json) for the perf trajectory:
+// machine-readable snapshot (BENCH_PR8.json) for the perf trajectory:
 // GF(2^8) kernel throughput against the retained scalar reference,
 // encode/decode packet rates of the RSE coder at the paper's k=7,h=7 and
 // k=20,h=5 operating points, Monte-Carlo engine sample rates (sparse
@@ -7,21 +7,29 @@
 // the end-to-end `figures -fig all -quick` wall-clock, the NP loopback
 // tier (np.go): sender packets/s through an in-process loopback Env,
 // pipelined (encode-ahead pool + pooled frames + MulticastBatch) against
-// the retained pre-PR serial transmit path — and, new in PR 7, the
-// per-core encode scaling sweep (GOMAXPROCS 1/2/4/8 with row-sharded
-// parallel encode) and measured syscalls/pkt on a real multicast socket
-// (sendmmsg batch path vs per-frame write).
+// the retained pre-PR serial transmit path, the per-core encode scaling
+// sweep (GOMAXPROCS 1/2/4/8 with row-sharded parallel encode; skipped
+// with a skipped_insufficient_cpus marker on single-CPU hosts, where
+// every point would multiplex one core into a misleading ~1.0x curve),
+// measured syscalls/pkt on a real multicast socket (sendmmsg batch path
+// vs per-frame write) — and, new in PR 8, the receiver-field tier
+// (field.go): full NP transfers fronting R = 1e4..1e6 simulated
+// receivers through one struct-of-arrays field.Field with aggregated NAK
+// feedback, in receivers per second of wall-clock against a
+// per-instance core.Receiver baseline.
 //
-//	go run ./cmd/bench                    # writes BENCH_PR7.json
+//	go run ./cmd/bench                    # writes BENCH_PR8.json
 //	go run ./cmd/bench -out - -runs 3     # quick run to stdout
 //	go run ./cmd/bench -np-only -runs 1   # NP loopback smoke (check.sh)
 //	go run ./cmd/bench -transcript -depth 0   # sender transcript hash
 //	go run ./cmd/bench -transcript -depth 8 -shards 4   # sharded hash
+//	go run ./cmd/bench -np-only -cpuprofile np.pprof    # profile NP tiers
 //
 // Each metric is the median of -runs testing.Benchmark passes, because
 // shared hosts are noisy and a single pass can swing 2x in either
 // direction; every speedup field pairs measurements from the same
-// process invocation.
+// process invocation. -cpuprofile/-memprofile capture pprof data over
+// whichever tiers run, like the same flags on cmd/figures.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 	"time"
@@ -85,7 +94,9 @@ type snapshot struct {
 	Sim                 []simStats     `json:"sim,omitempty"`
 	NP                  []npStats      `json:"np"`
 	NPScaling           []scalingStats `json:"np_scaling"`
+	NPScalingSkipped    string         `json:"np_scaling_skipped,omitempty"`
 	NPSyscalls          *sysStats      `json:"np_syscalls,omitempty"`
+	NPField             []fieldStats   `json:"np_field,omitempty"`
 	FiguresQuickSeconds float64        `json:"figures_quick_seconds,omitempty"`
 	FiguresQuickSamples int            `json:"figures_quick_samples,omitempty"`
 }
@@ -317,7 +328,7 @@ func figuresQuickBench() (seconds float64, samples int) {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_PR7.json", "output path, or - for stdout")
+		out        = flag.String("out", "BENCH_PR8.json", "output path, or - for stdout")
 		runs       = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
 		showMet    = flag.Bool("metrics", false, "print an end-of-run metrics snapshot (Prometheus text) to stderr")
 		npGroups   = flag.Int("np-groups", 600, "transmission groups per NP loopback drain")
@@ -325,12 +336,25 @@ func main() {
 		transcript = flag.Bool("transcript", false, "print the sender transcript hash of a fixed transfer and exit")
 		depth      = flag.Int("depth", 0, "pipeline depth for -transcript (0 = serial reference path)")
 		shards     = flag.Int("shards", 0, "encode shards for -transcript (0 = engine default)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured tiers to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *transcript {
 		fmt.Println(transcriptHash(*depth, *shards))
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalBench(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalBench(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	// A nil registry (flag off) turns the codec instruments into no-ops,
@@ -341,7 +365,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		PR:         7,
+		PR:         8,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -360,9 +384,10 @@ func main() {
 		snap.Sim = simBench(*runs)
 	}
 	snap.NP = npBench(*runs, *npGroups)
-	snap.NPScaling = scalingBench(*runs, *npGroups)
+	snap.NPScaling, snap.NPScalingSkipped = scalingBench(*runs, *npGroups)
 	snap.NPSyscalls = syscallBench()
 	if !*npOnly {
+		snap.NPField = fieldBench(*runs)
 		fmt.Fprintln(os.Stderr, "bench: timing figures -fig all -quick...")
 		snap.FiguresQuickSeconds, snap.FiguresQuickSamples = figuresQuickBench()
 	}
@@ -373,6 +398,17 @@ func main() {
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalBench(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalBench(err)
+		}
+		f.Close()
+	}
 	if *out == "-" {
 		os.Stdout.Write(enc)
 		printMetrics(reg)
@@ -395,8 +431,17 @@ func main() {
 	for _, sc := range snap.NPScaling {
 		npSummary += fmt.Sprintf(", scale@%d %.2fx", sc.Procs, sc.SpeedupVsDepth0)
 	}
+	if snap.NPScalingSkipped != "" {
+		npSummary += ", scaling " + snap.NPScalingSkipped
+	}
 	if snap.NPSyscalls != nil {
 		npSummary += fmt.Sprintf(", syscalls/pkt %.3f", snap.NPSyscalls.BatchSyscallsPkt)
+	}
+	for _, fs := range snap.NPField {
+		npSummary += fmt.Sprintf(", field@%.0e %.2gM recv/s", float64(fs.R), fs.ReceiversPerSec/1e6)
+		if fs.SpeedupVsInstances > 0 {
+			npSummary += fmt.Sprintf(" (%.0fx vs instances)", fs.SpeedupVsInstances)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.2fx scalar, xor %.2fx%s%s, figures-quick %.1fs)\n",
 		*out, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup, simSummary, npSummary, snap.FiguresQuickSeconds)

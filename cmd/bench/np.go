@@ -412,8 +412,16 @@ type scalingStats struct {
 // scalingBench sweeps the encode-bound scenario across GOMAXPROCS values.
 // Points beyond runtime.NumCPU() still run (the scheduler just multiplexes)
 // and are recorded as measured; the snapshot's host_cpus field tells the
-// reader how many points had real cores behind them.
-func scalingBench(runs, groups int) []scalingStats {
+// reader how many points had real cores behind them. On a single-CPU host
+// every point multiplexes the one core, so the whole curve flattens to a
+// meaningless ~1.0x — the tier skips instead, and the returned marker is
+// emitted into the snapshot as np_scaling_skipped.
+func scalingBench(runs, groups int) ([]scalingStats, string) {
+	if runtime.NumCPU() < 2 {
+		fmt.Fprintln(os.Stderr, "bench: NP encode scaling skipped: single-CPU host, "+
+			"every GOMAXPROCS point would multiplex one core into a misleading ~1.0x curve")
+		return nil, "skipped_insufficient_cpus"
+	}
 	const k, h = 20, 5
 	orig := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(orig)
@@ -443,7 +451,7 @@ func scalingBench(runs, groups int) []scalingStats {
 		st.SpeedupVsDepth0 = median(ratios)
 		out = append(out, st)
 	}
-	return out
+	return out, ""
 }
 
 // sysStats reports measured kernel crossings per datagram on a real

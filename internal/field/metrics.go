@@ -1,0 +1,65 @@
+package field
+
+import (
+	"time"
+
+	"rmfec/internal/metrics"
+)
+
+// fieldMetrics is the receiver field's live instrument set (np_field_*);
+// the zero value (all nil) disables instrumentation.
+type fieldMetrics struct {
+	population      *metrics.Gauge
+	losses          *metrics.Counter
+	activeReceivers *metrics.Gauge
+	naksSent        *metrics.Counter
+	naksSupp        *metrics.Counter
+	groupsDone      *metrics.Counter
+	deliveries      *metrics.Counter
+	deficient       *metrics.Histogram
+	nakDeficit      *metrics.Histogram
+}
+
+// deficientBuckets bounds the per-group deficient-receiver histogram:
+// from single stragglers to large fractions of a million-receiver field.
+var deficientBuckets = []float64{0, 1, 10, 100, 1e3, 1e4, 1e5, 1e6}
+
+// nakDeficitBuckets bounds the sent-NAK deficit histogram; deficits never
+// exceed k <= 64 under the field's bitmap limit.
+var nakDeficitBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// newFieldMetrics registers the np_field_* instrument set on r; a nil r
+// yields the all-nil (disabled) set.
+func newFieldMetrics(r *metrics.Registry) fieldMetrics {
+	if r == nil {
+		return fieldMetrics{}
+	}
+	naks := func(result string) *metrics.Counter {
+		return r.Counter("np_field_naks_total",
+			"simulated receiver NAK outcomes: multicast or damped by suppression",
+			metrics.Label{Key: "result", Value: result})
+	}
+	return fieldMetrics{
+		population: r.Gauge("np_field_population",
+			"receivers fronted by the struct-of-arrays receiver field"),
+		losses: r.Counter("np_field_losses_total",
+			"per-receiver packet loss outcomes drawn by the field"),
+		activeReceivers: r.Gauge("np_field_active_receivers",
+			"currently tracked deficient receivers, summed over open groups"),
+		naksSent: naks("sent"),
+		naksSupp: naks("suppressed"),
+		groupsDone: r.Counter("np_field_groups_done_total",
+			"transmission groups every fielded receiver holds k shards of"),
+		deliveries: r.Counter("np_field_deliveries_total",
+			"simulated receivers holding the complete message"),
+		deficient: r.Histogram("np_field_group_deficient",
+			"deficient receivers per group at its first poll", deficientBuckets),
+		nakDeficit: r.Histogram("np_field_nak_deficit",
+			"deficit carried by each NAK the field multicast", nakDeficitBuckets),
+	}
+}
+
+// traceEvent builds a metrics.Event for the field's trace records.
+func traceEvent(at time.Duration, kind string, a, b uint64) metrics.Event {
+	return metrics.Event{At: at, Kind: kind, A: a, B: b}
+}

@@ -110,6 +110,7 @@ func DefaultConfig() Config {
 	return Config{
 		EnvPackages: []string{
 			"internal/core",
+			"internal/field",
 			"internal/layered",
 			"internal/simnet",
 			"internal/figures",
@@ -125,6 +126,7 @@ func DefaultConfig() Config {
 		// through mcrun, pipeline or a transport is the intended pattern.
 		GoroutineFreePackages: []string{
 			"internal/core",
+			"internal/field",
 			"internal/layered",
 			"internal/simnet",
 			"internal/figures",

@@ -18,24 +18,32 @@
 #                       the race detector (udpcast transport, simnet
 #                       scheduler, core engines driven by both, the mcrun
 #                       parallel Monte-Carlo runner, the encode-ahead
-#                       pipeline pool, and the row-sharded rse/rse16
-#                       parallel encode)
-#   7. bench smoke      one 1-pass NP loopback drain through cmd/bench
+#                       pipeline pool, the row-sharded rse/rse16 parallel
+#                       encode, and the receiver field, whose NAK-schedule
+#                       determinism contract runs under mcrun parallelism)
+#   7. field smoke      one reduced-scale receiver-field transfer — a full
+#                       NP session fronting R = 1e5 simulated receivers
+#                       through one struct-of-arrays field.Field with
+#                       aggregated NAK feedback — reconciled against the
+#                       paper's closed form (the R = 1e6 acceptance run
+#                       stays in the full `go test ./...` tier above)
+#   8. bench smoke      one 1-pass NP loopback drain through cmd/bench
 #                       -np-only, so the end-to-end throughput tiers
-#                       (including the per-core scaling sweep and the
-#                       sendmmsg syscall tier) compile and both sender
-#                       paths drain to idle
-#   8. transcripts      the sender transcript hash of a fixed transfer,
+#                       (including the per-core scaling sweep, which skips
+#                       itself with skipped_insufficient_cpus on 1-CPU
+#                       hosts, and the sendmmsg syscall tier) compile and
+#                       both sender paths drain to idle
+#   9. transcripts      the sender transcript hash of a fixed transfer,
 #                       twice at pipeline depth 0, once pipelined, and
 #                       once pipelined with sharded parallel encode:
 #                       depth 0 must be deterministic run-to-run and every
 #                       pipelined wire sequence byte-identical to serial
-#   9. figures diff     two `figures -quick` runs at different -parallel
+#  10. figures diff     two `figures -quick` runs at different -parallel
 #                       values must produce byte-identical TSV output for
 #                       every simulated figure (the mcrun determinism
 #                       contract, end to end; fig 1 measures this
 #                       machine's coder throughput, so it is excluded)
-#  10. metrics smoke    start npsend -metrics-addr, scrape /metrics,
+#  11. metrics smoke    start npsend -metrics-addr, scrape /metrics,
 #                       project the exposed series onto their static IDs
 #                       (drop _bucket, fold _sum/_count into the histogram
 #                       base name) and diff against the sender-side slice
@@ -86,7 +94,10 @@ echo '== go test ./...'
 go test ./...
 
 echo '== go test -race -short (concurrent packages)'
-go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/
+go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/ ./internal/field/
+
+echo '== receiver field smoke (R=1e5 full transfer vs closed form, -short)'
+go test -short -count=1 -run 'TestFieldSmokeR100k|TestFieldEMReconciliation' ./internal/field/
 
 echo '== NP loopback bench smoke (cmd/bench -np-only, 1 pass)'
 go run ./cmd/bench -np-only -runs 1 -np-groups 40 -out - > /dev/null
