@@ -1,0 +1,238 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rmfec/internal/adapt"
+	"rmfec/internal/core"
+	"rmfec/internal/loss"
+	"rmfec/internal/simnet"
+)
+
+// shiftProcess switches between two loss processes after a fixed number of
+// draws — the mid-transfer regime change the adaptive control plane is
+// built to track (mirrors the scenario tests in internal/core).
+type shiftProcess struct {
+	first, second loss.Process
+	remaining     int
+}
+
+func (s *shiftProcess) Lost(dt float64) bool {
+	if s.remaining > 0 {
+		s.remaining--
+		return s.first.Lost(dt)
+	}
+	return s.second.Lost(dt)
+}
+
+func (s *shiftProcess) Reset() { s.first.Reset(); s.second.Reset() }
+
+// adaptScenario is one seeded loss-shift workload with its expected
+// steady-state outcome.
+type adaptScenario struct {
+	name     string
+	describe string
+	seed     int64
+	bytes    int
+	mkLoss   func(rng *rand.Rand) loss.Process
+	wantRung int // minimum acceptable final rung
+}
+
+func adaptScenarios() []adaptScenario {
+	return []adaptScenario{
+		{
+			name:     "adapt_shift_up",
+			describe: "Bernoulli loss 0.1% -> 15% after ~600 packets; expect convergence to rung 4 (k=8,h=12,a=6)",
+			seed:     1301,
+			bytes:    300000,
+			mkLoss: func(rng *rand.Rand) loss.Process {
+				return &shiftProcess{
+					first:     loss.NewBernoulli(0.001, rng),
+					second:    loss.NewBernoulli(0.15, rng),
+					remaining: 600,
+				}
+			},
+			wantRung: 4,
+		},
+		{
+			name:     "adapt_burst",
+			describe: "Bernoulli 3% -> Markov 3% (mean burst 4 pkts) after ~1500 packets; expect the burst detector to deepen the rung",
+			seed:     1401,
+			bytes:    400000,
+			mkLoss: func(rng *rand.Rand) loss.Process {
+				return &shiftProcess{
+					first:     loss.NewBernoulli(0.03, rng),
+					second:    loss.NewMarkov(0.03, 4, 1000, rng),
+					remaining: 1500,
+				}
+			},
+			wantRung: 3,
+		},
+	}
+}
+
+// adaptScenarioConfig mirrors the scenario tuning of the internal/core
+// tests: default ladder, short estimator window, tight NAK slots so
+// first-round deficits land inside the observation window at every rung.
+func adaptScenarioConfig() core.Config {
+	ac := adapt.DefaultConfig()
+	ac.Window = 12
+	ac.MinDwell = 4
+	ac.MinBurstObs = 6
+	ac.ProbeEvery = 4
+	return core.Config{
+		Session: 7, ShardSize: 64, AdaptiveFEC: true, Adapt: ac,
+		Ts: 2 * time.Millisecond, MaxNakSlots: 4, ObserveLag: 6,
+	}
+}
+
+// runAdaptScenario executes one scenario on the simulated network and
+// writes the per-group convergence curve as TSV: negotiated (k, h), the
+// proactive parities sent, the group's realized transmissions and the
+// cumulative E[M]. Returns the final controller state for the convergence
+// assertion.
+func runAdaptScenario(sc adaptScenario, w io.Writer) (*adapt.Controller, error) {
+	sched := simnet.NewScheduler()
+	sched.MaxEvents = 20_000_000
+	rng := rand.New(rand.NewSource(sc.seed))
+	net := simnet.NewNetwork(sched, rng)
+	cfg := adaptScenarioConfig()
+
+	senderNode := net.AddNode(simnet.NodeConfig{Delay: 2 * time.Millisecond, Jitter: time.Millisecond})
+	sender, err := core.NewSender(senderNode, cfg)
+	if err != nil {
+		return nil, err
+	}
+	senderNode.SetHandler(sender.HandlePacket)
+
+	var delivered []byte
+	for i := 0; i < 2; i++ {
+		node := net.AddNode(simnet.NodeConfig{
+			Delay: 2 * time.Millisecond, Jitter: time.Millisecond,
+			Loss: sc.mkLoss(rng),
+		})
+		rc, err := core.NewReceiver(node, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rc.OnComplete = func(m []byte) { delivered = m }
+		node.SetHandler(rc.HandlePacket)
+	}
+
+	msg := make([]byte, sc.bytes)
+	rand.New(rand.NewSource(sc.seed + 1)).Read(msg)
+	if err := sender.Send(msg); err != nil {
+		return nil, err
+	}
+	sched.Run()
+	if len(delivered) != len(msg) {
+		return nil, fmt.Errorf("scenario %s: transfer incomplete (%d of %d bytes)", sc.name, len(delivered), len(msg))
+	}
+
+	fmt.Fprintf(w, "# %s: %s\n", sc.name, sc.describe)
+	fmt.Fprintf(w, "# x: transmission group (stream order), y: negotiated parameters and realized cost\n")
+	fmt.Fprintln(w, "group\tk\th\ta\ttx\tem_cum")
+	var txSum, srcSum int
+	for _, g := range sender.GroupTrace() {
+		txSum += g.TxCount
+		srcSum += g.K
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.4f\n",
+			g.Index, g.K, g.H, g.AUsed, g.TxCount, float64(txSum)/float64(srcSum))
+	}
+	ctl := sender.Adapt()
+	p := ctl.Params()
+	fmt.Fprintf(w, "# final: phat=%.4f rung=%d k=%d h=%d a=%d retunes=%d bursty=%v em=%.4f\n",
+		ctl.PHat(), ctl.Rung(), p.K, p.H, p.A, ctl.Retunes(), ctl.Bursty(), float64(txSum)/float64(srcSum))
+	return ctl, nil
+}
+
+// adaptiveDrain pushes a message through the adaptive (wire v2) sender on
+// the loopback Env. With no loss feedback the controller holds the
+// ladder's initial rung, so the drain isolates the control plane's
+// per-group overhead (Observe/Decide, era cutting, v2 framing) on the
+// data path.
+func adaptiveDrain(bytes int, pl core.PipelineConfig) legRun {
+	env := newNPEnv(1)
+	cfg := adaptScenarioConfig()
+	cfg.Pipeline = pl
+	s, err := core.NewSender(env, cfg)
+	if err != nil {
+		fatalBench(err)
+	}
+	defer s.Close()
+	if err := s.Send(make([]byte, bytes)); err != nil {
+		fatalBench(err)
+	}
+	return timeDrain(env)
+}
+
+// adaptiveNPBench is the -adaptive-fec loopback scenario: the adaptive
+// sender drained at depth 0 and pipelined, sized to match the static
+// tiers' payload (groups * k=20 * shardBytes).
+func adaptiveNPBench(runs, groups int) npStats {
+	bytes := groups * 20 * shardBytes
+	cfg := adaptScenarioConfig()
+	initial := cfg.Adapt.Ladder[cfg.Adapt.Initial].P
+	fmt.Fprintf(os.Stderr, "bench: measuring NP loopback adaptive (initial k=%d h=%d a=%d)...\n",
+		initial.K, initial.H, initial.A)
+	st := npStats{Scenario: "adaptive", K: initial.K, H: initial.H, Proactive: initial.A}
+	pl := core.PipelineConfig{Depth: 8, Workers: 2, Batch: 32, EncodeShards: 2}
+	var d0R, pipeR, d0Allocs, pipeAllocs, d0Ratios []float64
+	for i := 0; i < runs; i++ {
+		d0 := adaptiveDrain(bytes, core.PipelineConfig{})
+		pipe := adaptiveDrain(bytes, pl)
+		st.Packets = pipe.pkts
+		st.Groups = bytes / (initial.K * shardBytes)
+		d0R = append(d0R, d0.pktsS())
+		pipeR = append(pipeR, pipe.pktsS())
+		d0Allocs = append(d0Allocs, d0.allocsPkt)
+		pipeAllocs = append(pipeAllocs, pipe.allocsPkt)
+		if d0.pktsS() > 0 {
+			d0Ratios = append(d0Ratios, pipe.pktsS()/d0.pktsS())
+		}
+		st.PipelinedMBs = pipe.mbS()
+	}
+	st.Depth0PktsS = median(d0R)
+	st.PipelinedPktsS = median(pipeR)
+	st.Depth0AllocsPkt = median(d0Allocs)
+	st.PipelinedAllocsPkt = median(pipeAllocs)
+	st.SpeedupVsDepth0 = median(d0Ratios)
+	return st
+}
+
+// adaptScenarioMain is the -adapt-scenario entry point: run every scenario,
+// write results/<name>.tsv (or -adapt-out/<name>.tsv) and fail unless each
+// controller converged at least as deep as the scenario expects.
+func adaptScenarioMain(outDir string) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fatalBench(err)
+	}
+	ok := true
+	for _, sc := range adaptScenarios() {
+		path := filepath.Join(outDir, sc.name+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatalBench(err)
+		}
+		ctl, err := runAdaptScenario(sc, f)
+		f.Close()
+		if err != nil {
+			fatalBench(err)
+		}
+		status := "converged"
+		if ctl.Rung() < sc.wantRung {
+			status = "FAILED to converge"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "bench: %s: %s at rung %d (want >= %d), %d retunes, wrote %s\n",
+			sc.name, status, ctl.Rung(), sc.wantRung, ctl.Retunes(), path)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

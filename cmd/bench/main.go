@@ -334,6 +334,9 @@ func main() {
 		npGroups   = flag.Int("np-groups", 600, "transmission groups per NP loopback drain")
 		npOnly     = flag.Bool("np-only", false, "run only the NP loopback tiers (check.sh smoke)")
 		transcript = flag.Bool("transcript", false, "print the sender transcript hash of a fixed transfer and exit")
+		adaptFEC   = flag.Bool("adaptive-fec", false, "add an NP loopback scenario draining through the adaptive FEC control plane (wire v2)")
+		adaptScen  = flag.Bool("adapt-scenario", false, "run the adaptive loss-shift scenarios, write convergence TSVs and exit (check.sh smoke)")
+		adaptOut   = flag.String("adapt-out", "results", "output directory for -adapt-scenario TSVs")
 		depth      = flag.Int("depth", 0, "pipeline depth for -transcript (0 = serial reference path)")
 		shards     = flag.Int("shards", 0, "encode shards for -transcript (0 = engine default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured tiers to this file")
@@ -343,6 +346,11 @@ func main() {
 
 	if *transcript {
 		fmt.Println(transcriptHash(*depth, *shards))
+		return
+	}
+
+	if *adaptScen {
+		adaptScenarioMain(*adaptOut)
 		return
 	}
 
@@ -384,6 +392,9 @@ func main() {
 		snap.Sim = simBench(*runs)
 	}
 	snap.NP = npBench(*runs, *npGroups)
+	if *adaptFEC {
+		snap.NP = append(snap.NP, adaptiveNPBench(*runs, *npGroups))
+	}
 	snap.NPScaling, snap.NPScalingSkipped = scalingBench(*runs, *npGroups)
 	snap.NPSyscalls = syscallBench()
 	if !*npOnly {

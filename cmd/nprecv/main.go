@@ -3,6 +3,8 @@
 //	nprecv -group 239.2.3.4:7654 -out big.iso -k 20 -shard 1024
 //
 // The coding parameters (-k, -shard, -session) must match the sender's.
+// An adaptive (wire v2) session needs -adaptive-fec on both ends: without
+// it the receiver rejects v2 frames cleanly and never joins.
 package main
 
 import (
@@ -18,13 +20,14 @@ import (
 
 func main() {
 	var (
-		group   = flag.String("group", "239.2.3.4:7654", "multicast group address")
-		out     = flag.String("out", "", "output file (required)")
-		k       = flag.Int("k", 20, "transmission group size")
-		shard   = flag.Int("shard", 1024, "payload bytes per packet")
-		session = flag.Uint("session", 1, "session id")
-		timeout = flag.Duration("timeout", 10*time.Minute, "give up after this long")
-		maddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/trace on this address (off when empty)")
+		group    = flag.String("group", "239.2.3.4:7654", "multicast group address")
+		out      = flag.String("out", "", "output file (required)")
+		k        = flag.Int("k", 20, "transmission group size")
+		shard    = flag.Int("shard", 1024, "payload bytes per packet")
+		session  = flag.Uint("session", 1, "session id")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+		adaptFEC = flag.Bool("adaptive-fec", false, "join an adaptive FEC session: per-group (k, h) come from the wire v2 headers (overrides -k)")
+		maddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/trace on this address (off when empty)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -43,6 +46,12 @@ func main() {
 		Session:   uint32(*session),
 		K:         *k,
 		ShardSize: *shard,
+	}
+	if *adaptFEC {
+		// Mirror npsend: the ladder owns (k, h); each group's actual
+		// parameters arrive in its v2 TG header.
+		cfg.AdaptiveFEC = true
+		cfg.K = 0
 	}
 	if *maddr != "" {
 		cfg.Metrics = metrics.NewRegistry()
@@ -69,8 +78,13 @@ func main() {
 	recv.OnComplete = func(msg []byte) { done <- msg }
 	conn.Serve(recv.HandlePacket)
 
-	fmt.Printf("nprecv: listening on %s (k=%d, shard=%d, session=%d)\n",
-		*group, *k, *shard, *session)
+	if *adaptFEC {
+		fmt.Printf("nprecv: listening on %s (adaptive FEC, shard=%d, session=%d)\n",
+			*group, *shard, *session)
+	} else {
+		fmt.Printf("nprecv: listening on %s (k=%d, shard=%d, session=%d)\n",
+			*group, *k, *shard, *session)
+	}
 	start := time.Now()
 	select {
 	case msg := <-done:

@@ -31,6 +31,7 @@ func main() {
 		a        = flag.Int("proactive", 0, "parities sent with each group before any NAK")
 		carousel = flag.Bool("carousel", false, "integrated FEC 1: stream proactive parities, no polls")
 		adaptive = flag.Bool("adaptive", false, "learn the redundancy level from NAK feedback")
+		adaptFEC = flag.Bool("adaptive-fec", false, "full adaptive FEC control plane: retune (k,h,a) between groups from estimated loss (wire v2; overrides -k/-proactive)")
 		depth    = flag.Int("depth", 0, "transmit pipeline depth in TGs (0 = serial reference path)")
 		workers  = flag.Int("workers", 0, "encode-ahead worker goroutines (0 = default when -depth > 0)")
 		batch    = flag.Int("batch", 0, "max packets per batched send (0 = default when -depth > 0)")
@@ -66,6 +67,12 @@ func main() {
 		Adaptive:  *adaptive,
 		Pipeline:  core.PipelineConfig{Depth: *depth, Workers: *workers, Batch: *batch, EncodeShards: *eshards},
 	}
+	if *adaptFEC {
+		// The control plane owns (k, h, a): the ladder's initial rung
+		// replaces the static flags, and frames go out as wire v2.
+		cfg.AdaptiveFEC = true
+		cfg.K, cfg.Proactive = 0, 0
+	}
 	if *maddr != "" {
 		cfg.Metrics = metrics.NewRegistry()
 		cfg.Trace = metrics.NewTracer(4096)
@@ -96,23 +103,42 @@ func main() {
 			os.Exit(1)
 		}
 	})
-	var groups int
-	conn.Do(func() { groups = sender.Groups() })
-	fmt.Printf("npsend: %d bytes in %d groups of k=%d to %s\n", len(msg), groups, *k, *group)
+	var groups, source int
+	conn.Do(func() { groups, source = sender.Groups(), sender.SourcePackets() })
+	if *adaptFEC {
+		fmt.Printf("npsend: %d bytes, adaptive FEC (wire v2), %d groups cut so far, to %s\n",
+			len(msg), groups, *group)
+	} else {
+		fmt.Printf("npsend: %d bytes in %d groups of k=%d to %s\n", len(msg), groups, *k, *group)
+	}
 
-	// The data phase takes about groups*(k+1)*delta; after it drains we
-	// linger to serve late NAKs.
-	dataTime := time.Duration(groups*(*k+2)) * *delta
+	// The data phase takes about sourcePackets+polls transmissions; after
+	// it drains we linger to serve late NAKs. Under adaptive FEC the group
+	// count grows as eras are cut, so size the wait by the message instead.
+	perGroup := *k + 2
+	if *adaptFEC {
+		perGroup = 2
+		groups = len(msg) / *shard
+	}
+	dataTime := time.Duration(groups*perGroup) * *delta
 	time.Sleep(dataTime + *linger)
 
 	var st core.SenderStats
-	conn.Do(func() { st = sender.Stats() })
+	conn.Do(func() {
+		st = sender.Stats()
+		source = sender.SourcePackets()
+		if ctl := sender.Adapt(); ctl != nil {
+			p := ctl.Params()
+			fmt.Printf("npsend: adaptive: p̂ = %.4f, rung %d (k=%d h=%d a=%d), %d retunes\n",
+				ctl.PHat(), ctl.Rung(), p.K, p.H, p.A, ctl.Retunes())
+		}
+	})
 	elapsed := time.Since(start)
 	total := st.DataTx + st.ParityTx
 	fmt.Printf("npsend: done in %v: %d data + %d parity (%d polls, %d naks served)\n",
 		elapsed.Round(time.Millisecond), st.DataTx, st.ParityTx, st.PollTx, st.NakServed)
-	if st.DataTx > 0 {
+	if st.DataTx > 0 && source > 0 {
 		fmt.Printf("npsend: transmissions per packet E[M] = %.3f\n",
-			float64(total)/float64(groups**k))
+			float64(total)/float64(source))
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rmfec/internal/metrics"
 	"rmfec/internal/rse"
 	"rmfec/internal/rse16"
 )
@@ -57,21 +58,57 @@ func (g gf16Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(s
 // a metrics registry, the GF(2^8) codec's rse_* instruments (symbol
 // throughput, inversion-cache hit rate) are registered on it.
 func newCodec(cfg Config) (erasureCodec, error) {
-	if cfg.K+cfg.MaxParity <= 255 {
-		c, err := rse.New(cfg.K, cfg.MaxParity)
+	return newCodecKH(cfg.K, cfg.MaxParity, cfg.ShardSize, cfg.Metrics)
+}
+
+// newCodecKH builds a codec for an explicit (k, h) working point, with the
+// same backend selection rule as newCodec. Instrument registration is
+// idempotent per registry, so every GF(2^8) instance of a session shares
+// the rse_* counters.
+func newCodecKH(k, h, shardSize int, reg *metrics.Registry) (erasureCodec, error) {
+	if k+h <= 255 {
+		c, err := rse.New(k, h)
 		if err != nil {
 			return nil, err
 		}
-		c.Instrument(rse.RegisterInstruments(cfg.Metrics))
+		c.Instrument(rse.RegisterInstruments(reg))
 		return gf8Codec{c}, nil
 	}
-	if cfg.ShardSize%2 != 0 {
+	if shardSize%2 != 0 {
 		return nil, fmt.Errorf("core: K+MaxParity = %d needs the GF(2^16) codec, which requires an even ShardSize (got %d)",
-			cfg.K+cfg.MaxParity, cfg.ShardSize)
+			k+h, shardSize)
 	}
-	c, err := rse16.New(cfg.K, cfg.MaxParity)
+	c, err := rse16.New(k, h)
 	if err != nil {
 		return nil, err
 	}
 	return gf16Codec{c}, nil
+}
+
+// codecCache lazily builds and memoizes per-(k, h) codecs for adaptive
+// sessions, where the working point changes between transmission groups.
+// Ladder rungs are few, so the cache stays tiny; lookups happen on the
+// engine goroutine only.
+type codecCache struct {
+	m         map[uint32]erasureCodec
+	shardSize int
+	reg       *metrics.Registry
+}
+
+func newCodecCache(shardSize int, reg *metrics.Registry) codecCache {
+	return codecCache{m: make(map[uint32]erasureCodec), shardSize: shardSize, reg: reg}
+}
+
+func (cc *codecCache) get(k, h int) (erasureCodec, error) {
+	key := uint32(k)<<16 | uint32(h)
+	if c, ok := cc.m[key]; ok {
+		return c, nil
+	}
+	//rmlint:ignore hotpath-alloc codec construction is memoized per ladder rung; steady state hits the map
+	c, err := newCodecKH(k, h, cc.shardSize, cc.reg)
+	if err != nil {
+		return nil, err
+	}
+	cc.m[key] = c
+	return c, nil
 }

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"time"
 
+	"rmfec/internal/adapt"
 	"rmfec/internal/metrics"
 )
 
@@ -126,6 +127,27 @@ type Config struct {
 	// repair deficits recent groups reported, so the sender learns the
 	// loss level and front-loads roughly the right amount of redundancy.
 	Adaptive bool
+	// AdaptiveFEC enables the full adaptive FEC control plane
+	// (internal/adapt): an online loss estimator plus burst detector
+	// steering (k, h, a) through a hysteresis ladder, renegotiated
+	// between transmission groups over wire version 2 (the TG header
+	// carries the group's k, h and codec id). K, MaxParity and Proactive
+	// are derived from the ladder's initial rung; the transfer is cut
+	// into groups lazily so later groups can use retuned parameters.
+	// Mutually exclusive with PreEncode, Carousel and Adaptive — the
+	// controller owns redundancy end to end. Both endpoints must enable
+	// it: a non-adaptive engine rejects v2 frames with ErrBadVersion.
+	AdaptiveFEC bool
+	// Adapt tunes the control plane; the zero value takes
+	// adapt.DefaultConfig(). Sender and receivers must agree on the
+	// ladder's maximum K and H (receivers bound per-group state by them).
+	Adapt adapt.Config
+	// ObserveLag is how many transmission groups the sender waits before
+	// closing a group's loss observation: group g's worst first-round NAK
+	// deficit is sampled when group g+ObserveLag is cut, giving feedback
+	// that long to arrive. Too small a lag under-counts slow NAKs (slot
+	// delay, RTT); too large delays adaptation. Default 4.
+	ObserveLag int
 	// MaxGroups bounds the transfer size in transmission groups (NP) or
 	// packets (N2). Receivers reject FIN/headers claiming more — without
 	// a bound a hostile FIN could make a receiver allocate state for 2^32
@@ -156,6 +178,21 @@ type Config struct {
 
 // Defaults fills unset fields with working values.
 func (c *Config) Defaults() {
+	if c.AdaptiveFEC {
+		if c.Adapt.Window == 0 {
+			c.Adapt = adapt.DefaultConfig()
+		}
+		if c.ObserveLag == 0 {
+			c.ObserveLag = 4
+		}
+		// The ladder owns the working point: the engine's static knobs
+		// are pinned to the initial rung so buffer sizing, codec seeding
+		// and metrics bounds see consistent values.
+		if c.Adapt.Validate() == nil {
+			p := c.Adapt.Ladder[c.Adapt.Initial].P
+			c.K, c.MaxParity, c.Proactive = p.K, p.H, p.A
+		}
+	}
 	if c.MaxParity == 0 {
 		c.MaxParity = 4 * c.K
 		if c.K <= 127 && c.MaxParity > 255-c.K {
@@ -235,6 +272,25 @@ func (c *Config) Validate() error {
 		}
 		if c.Pipeline.EncodeShards < 1 || c.Pipeline.EncodeShards > 256 {
 			return fmt.Errorf("core: Pipeline.EncodeShards = %d, need 1..256", c.Pipeline.EncodeShards)
+		}
+	}
+	if c.AdaptiveFEC {
+		if c.PreEncode || c.Carousel || c.Adaptive {
+			return fmt.Errorf("core: AdaptiveFEC is mutually exclusive with PreEncode/Carousel/Adaptive")
+		}
+		if err := c.Adapt.Validate(); err != nil {
+			return err
+		}
+		for i, r := range c.Adapt.Ladder {
+			if r.P.K > 4096 || r.P.K+r.P.H > 65535 {
+				return fmt.Errorf("core: ladder rung %d (k=%d, h=%d) exceeds block limits", i, r.P.K, r.P.H)
+			}
+			if r.P.K+r.P.H > 255 && c.ShardSize%2 != 0 {
+				return fmt.Errorf("core: ladder rung %d needs the GF(2^16) codec, which requires an even ShardSize (got %d)", i, c.ShardSize)
+			}
+		}
+		if c.ObserveLag < 1 {
+			return fmt.Errorf("core: ObserveLag = %d, need >= 1", c.ObserveLag)
 		}
 	}
 	return nil

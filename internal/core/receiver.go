@@ -66,6 +66,12 @@ type Receiver struct {
 	freeGroups []*rxGroup // recycled group bookkeeping (streaming mode)
 	doneBits   []uint64   // groups released after streaming delivery
 
+	// Adaptive sessions: per-group (k, h) bounds from the ladder, and the
+	// per-(k, h) codec cache. Outside adaptive mode maxK/maxH mirror the
+	// static config.
+	maxK, maxH int
+	codecs     codecCache
+
 	// OnComplete is invoked exactly once with the reassembled message.
 	// Leaving it nil selects STREAMING mode: each group's buffers are
 	// recycled right after its OnGroup delivery (set callbacks before the
@@ -81,7 +87,9 @@ type Receiver struct {
 }
 
 type rxGroup struct {
-	shards     [][]byte // len k+MaxParity; nil = not received
+	shards     [][]byte // len k+h; nil = not received
+	k          int      // data shards; 0 while unknown (adaptive group seen only via FIN)
+	h          int      // parity budget
 	have       int      // shards present
 	firstAt    time.Duration
 	sawShard   bool
@@ -107,17 +115,24 @@ func NewReceiver(env Env, cfg Config) (*Receiver, error) {
 	// Reconstruct contract; GF(2^16) groups mark losses with nil and let
 	// the codec allocate.
 	_, zeroFill := code.(gf8Codec)
-	return &Receiver{
+	r := &Receiver{
 		env:        env,
 		cfg:        cfg,
 		code:       code,
 		zeroFill:   zeroFill,
 		groups:     make(map[uint32]*rxGroup),
 		totalTG:    -1,
+		maxK:       cfg.K,
+		maxH:       cfg.MaxParity,
 		shardPool:  bufPool{minCap: cfg.ShardSize},
 		ctrlFrames: bufPool{minCap: packet.HeaderLen},
 		m:          newReceiverMetrics(cfg.Metrics),
-	}, nil
+	}
+	if cfg.AdaptiveFEC {
+		r.maxK, r.maxH = cfg.Adapt.MaxKH()
+		r.codecs = newCodecCache(cfg.ShardSize, cfg.Metrics)
+	}
+	return r, nil
 }
 
 // Stats returns a snapshot of the receiver's counters.
@@ -152,18 +167,31 @@ func (r *Receiver) setReleased(idx uint32) {
 	r.doneBits[w] |= 1 << (idx & 63)
 }
 
-func (r *Receiver) group(idx uint32) *rxGroup {
+// group returns the bookkeeping for TG idx, creating it with the given
+// parameters when first seen. k = 0 means the parameters are unknown yet
+// (an adaptive group announced only by a FIN): state is sized to the
+// ladder's bounds and the true (k, h) is adopted from the first shard.
+func (r *Receiver) group(idx uint32, k, h int) *rxGroup {
 	g, ok := r.groups[idx]
 	if !ok {
+		nsh := k + h
+		if k == 0 {
+			nsh = r.maxK + r.maxH
+		}
 		if n := len(r.freeGroups); n > 0 {
 			g = r.freeGroups[n-1]
 			r.freeGroups[n-1] = nil
 			r.freeGroups = r.freeGroups[:n-1]
 			*g = rxGroup{shards: g.shards} // shards were nil'd at release
+			if len(g.shards) != nsh {
+				//rmlint:ignore hotpath-alloc re-size only when adjacent groups negotiated different (k,h)
+				g.shards = make([][]byte, nsh)
+			}
 		} else {
 			//rmlint:ignore hotpath-alloc one allocation per live group; groups recycle through freeGroups
-			g = &rxGroup{shards: make([][]byte, r.cfg.K+r.cfg.MaxParity)}
+			g = &rxGroup{shards: make([][]byte, nsh)}
 		}
+		g.k, g.h = k, h
 		r.groups[idx] = g
 	}
 	return g
@@ -199,7 +227,16 @@ func (r *Receiver) HandlePacket(wire []byte) {
 		return
 	}
 	var pkt packet.Packet
-	if err := packet.DecodeInto(&pkt, wire); err != nil || pkt.Session != r.cfg.Session {
+	var err error
+	if r.cfg.AdaptiveFEC {
+		err = packet.DecodeInto(&pkt, wire)
+	} else {
+		// Non-adaptive receivers speak strict v1: v2 frames of an adaptive
+		// session sharing the group are rejected with ErrBadVersion here —
+		// cleanly ignored, never misparsed.
+		err = packet.DecodeIntoV1(&pkt, wire)
+	}
+	if err != nil || pkt.Session != r.cfg.Session {
 		return
 	}
 	switch pkt.Type {
@@ -227,9 +264,32 @@ func (r *Receiver) noteTotal(total uint32) {
 	}
 }
 
+// wireKH extracts and validates a TG-scoped packet's group parameters.
+// Static sessions pin them to the config; adaptive sessions read them from
+// the v2 header (a v1 frame carries no h, so the ladder bound is assumed)
+// and bound them by the ladder so a hostile header cannot inflate state.
+func (r *Receiver) wireKH(pkt *packet.Packet) (k, h int, ok bool) {
+	if !r.cfg.AdaptiveFEC {
+		if int(pkt.K) != r.cfg.K {
+			return 0, 0, false // foreign or misconfigured sender
+		}
+		return r.cfg.K, r.cfg.MaxParity, true
+	}
+	k = int(pkt.K)
+	h = r.maxH
+	if pkt.Vers == packet.V2 {
+		h = int(pkt.H)
+	}
+	if k < 1 || k > r.maxK || h < 0 || h > r.maxH {
+		return 0, 0, false
+	}
+	return k, h, true
+}
+
 func (r *Receiver) onShard(pkt *packet.Packet) {
-	if int(pkt.K) != r.cfg.K {
-		return // foreign or misconfigured sender
+	k, h, ok := r.wireKH(pkt)
+	if !ok {
+		return
 	}
 	if int64(pkt.Group) >= int64(r.cfg.MaxGroups) {
 		return // beyond any transfer this receiver would accept
@@ -238,12 +298,17 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 	if r.released(pkt.Group) {
 		return
 	}
-	g := r.group(pkt.Group)
+	g := r.group(pkt.Group, k, h)
 	if g.done {
 		return
 	}
+	if g.k == 0 {
+		g.k, g.h = k, h // FIN-created group adopts the negotiated params
+	} else if g.k != k {
+		return // conflicting parameters for the same group
+	}
 	idx := int(pkt.Seq)
-	if idx >= len(g.shards) || len(pkt.Payload) != r.cfg.ShardSize {
+	if idx >= len(g.shards) || idx >= k+h || len(pkt.Payload) != r.cfg.ShardSize {
 		return
 	}
 	if g.shards[idx] != nil {
@@ -267,35 +332,59 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 		r.stats.ParityRx++
 		r.m.parityRx.Inc()
 	}
-	if g.have >= r.cfg.K {
+	if g.have >= g.k {
 		r.finishGroup(pkt.Group, g)
 	}
 	r.maybeComplete()
 }
 
+// codecKH returns the codec (and its zero-fill contract) for a group's
+// (k, h): the static instance when it matches the config, else a cached
+// per-rung codec. A nil codec means the combination is unserviceable.
+func (r *Receiver) codecKH(k, h int) (erasureCodec, bool) {
+	if k == r.cfg.K && h == r.cfg.MaxParity {
+		return r.code, r.zeroFill
+	}
+	c, err := r.codecs.get(k, h)
+	if err != nil {
+		return nil, false
+	}
+	_, zf := c.(gf8Codec)
+	return c, zf
+}
+
 func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
+	gk := g.k
+	nsh := gk + g.h
+	if nsh > len(g.shards) {
+		nsh = len(g.shards)
+	}
 	needsDecode := false
-	for i := 0; i < r.cfg.K; i++ {
+	for i := 0; i < gk; i++ {
 		if g.shards[i] == nil {
 			needsDecode = true
 			break
 		}
 	}
 	if needsDecode {
-		if r.zeroFill {
+		code, zeroFill := r.codecKH(gk, g.h)
+		if code == nil {
+			return // unserviceable (k,h); the group stays incomplete
+		}
+		if zeroFill {
 			// Hand the codec zero-length pooled buffers for the missing
 			// data slots; Reconstruct rebuilds into them in place, so the
 			// decode path reuses the same working set as plain reception.
-			for i := 0; i < r.cfg.K; i++ {
+			for i := 0; i < gk; i++ {
 				if g.shards[i] == nil {
 					g.shards[i] = r.shardPool.get(r.cfg.ShardSize)[:0]
 				}
 			}
 		}
-		if err := r.code.Reconstruct(g.shards); err != nil {
+		if err := code.Reconstruct(g.shards[:nsh]); err != nil {
 			// Cannot happen with have >= k; undo the fills and stay
 			// incomplete.
-			for i := 0; i < r.cfg.K; i++ {
+			for i := 0; i < gk; i++ {
 				if s := g.shards[i]; s != nil && len(s) == 0 {
 					r.shardPool.put(s[:cap(s)])
 					g.shards[i] = nil
@@ -306,7 +395,7 @@ func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
 		r.stats.Decodes++
 		r.m.decodes.Inc()
 		parities := 0
-		for i := r.cfg.K; i < len(g.shards); i++ {
+		for i := gk; i < nsh; i++ {
 			if g.shards[i] != nil {
 				parities++
 			}
@@ -331,7 +420,7 @@ func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
 		g.nakArmed = false
 	}
 	if r.OnGroup != nil {
-		r.OnGroup(idx, g.shards[:r.cfg.K])
+		r.OnGroup(idx, g.shards[:gk])
 	}
 	if r.OnComplete == nil {
 		// Streaming mode: the group's data left through OnGroup (or the
@@ -353,16 +442,33 @@ func (r *Receiver) onPoll(pkt *packet.Packet) {
 	if r.released(pkt.Group) {
 		return
 	}
-	g := r.group(pkt.Group)
+	k, h, ok := r.wireKH(pkt)
+	if !ok {
+		return
+	}
+	g := r.group(pkt.Group, k, h)
+	if g.k == 0 {
+		g.k, g.h = k, h
+	}
 	g.heardNak = 0 // new suppression round
 	r.armNak(pkt.Group, g, int(pkt.Count))
+}
+
+// groupK returns the data-shard count NAK math uses for g: its negotiated
+// k, or the ladder's largest k when the group was announced only by a FIN
+// (so a fully-lost group is NAKed defensively; the sender clamps).
+func (r *Receiver) groupK(g *rxGroup) int {
+	if g.k > 0 {
+		return g.k
+	}
+	return r.maxK
 }
 
 func (r *Receiver) deficit(g *rxGroup) int {
 	if g.done {
 		return 0
 	}
-	l := r.cfg.K - g.have
+	l := r.groupK(g) - g.have
 	if l < 0 {
 		l = 0
 	}
@@ -411,7 +517,7 @@ func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
 			Type:    packet.TypeNak,
 			Session: r.cfg.Session,
 			Group:   idx,
-			K:       uint16(r.cfg.K),
+			K:       uint16(r.groupK(g)),
 			Count:   uint16(l),
 		}
 		frame := r.ctrlFrames.get(nak.EncodedLen())
@@ -454,14 +560,20 @@ func (r *Receiver) onFin(pkt *packet.Packet) {
 		return
 	}
 	// The FIN doubles as a poll for every unfinished group, including
-	// groups we never saw a single packet of.
+	// groups we never saw a single packet of. Adaptive sessions create
+	// those with unknown parameters (k = 0): state is sized to the ladder
+	// bounds until a shard announces the group's true (k, h).
+	fk, fh := r.cfg.K, r.cfg.MaxParity
+	if r.cfg.AdaptiveFEC {
+		fk, fh = 0, 0
+	}
 	for i := 0; i < r.totalTG; i++ {
 		if r.released(uint32(i)) {
 			continue
 		}
-		g := r.group(uint32(i))
+		g := r.group(uint32(i), fk, fh)
 		if !g.done && !g.nakArmed {
-			r.armNak(uint32(i), g, r.cfg.K)
+			r.armNak(uint32(i), g, r.groupK(g))
 		}
 	}
 	r.maybeComplete()
@@ -481,11 +593,18 @@ func (r *Receiver) maybeComplete() {
 		r.Close()
 		return
 	}
+	// Capacity hint only: adaptive groups may cut larger k than the config,
+	// but msgLen comes off the wire (a FIN), so it is trusted only up to
+	// the largest reassembly the ladder could produce.
+	capHint := r.totalTG * r.cfg.K * r.cfg.ShardSize
+	if most := r.totalTG * r.maxK * r.cfg.ShardSize; uint64(capHint) < r.msgLen && r.msgLen <= uint64(most) {
+		capHint = int(r.msgLen)
+	}
 	//rmlint:ignore hotpath-alloc final reassembly runs once per session
-	msg := make([]byte, 0, r.totalTG*r.cfg.K*r.cfg.ShardSize)
+	msg := make([]byte, 0, capHint)
 	for i := 0; i < r.totalTG; i++ {
 		g := r.groups[uint32(i)]
-		for j := 0; j < r.cfg.K; j++ {
+		for j := 0; j < g.k; j++ {
 			//rmlint:ignore hotpath-alloc reassembly buffer is presized; runs once per session
 			msg = append(msg, g.shards[j]...)
 		}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"rmfec/internal/adapt"
 	"rmfec/internal/metrics"
 	"rmfec/internal/packet"
 	"rmfec/internal/pipeline"
@@ -73,10 +74,32 @@ type Sender struct {
 	// group's encode spreads across up to encShards workers while staying
 	// byte-identical to the serial encoder (disjoint rows, same row
 	// kernel). encDone counts collected jobs for the queue-depth gauge.
+	// encGroups is the slice the pool's jobs index into (all groups on the
+	// static path, the current era on the adaptive path), encCodec the
+	// codec those jobs encode with, encH their groups' parity budget.
 	enc       *pipeline.Pool
 	encAhead  int
 	encShards int
 	encDone   int
+	encGroups []*txGroup
+	encCodec  erasureCodec
+	encH      int
+
+	// Adaptive FEC control plane (Config.AdaptiveFEC). The message is
+	// retained and cut into groups lazily, one ERA at a time: all groups
+	// of an era share the working point the controller chose when the era
+	// started. A retune flushes the era — unstreamed groups and their
+	// queued encode-ahead jobs are discarded at the TG boundary — and
+	// re-cuts the remainder of the message at the new (k, h).
+	ctl     *adapt.Controller
+	codecs  codecCache
+	msg     []byte     // retained payload; nil outside adaptive mode
+	cursor  int        // bytes of msg streamed so far
+	era     []*txGroup // groups pre-cut at the current working point
+	eraNext int        // next era group to stream
+	eraBase int        // global TG index of era[0]; 0 on the static path
+	obsNext int        // next TG index whose observation closes (lag window)
+	finSent bool       // no further groups will be cut
 
 	pumpCb func() // hoisted pacing callback; one closure per Sender
 
@@ -89,12 +112,15 @@ type Sender struct {
 type txGroup struct {
 	index      uint32
 	data       [][]byte
+	k          int      // data shards; cfg.K outside adaptive mode
+	h          int      // parity budget; cfg.MaxParity outside adaptive mode
+	aUsed      int      // proactive parities actually sent with round 1
 	parities   [][]byte // pre-encoded parity shards (PreEncode or encode-ahead)
 	collected  bool     // encode-ahead job results folded in
 	nextParity int      // next unsent parity index (0-based)
 	queued     int      // parities queued but not yet sent, for NAK aggregation
 	resendCur  int      // rotating data index for the parity-exhaustion fallback
-	maxNeed    int      // largest NAK deficit seen, feeds the adaptive EWMA
+	maxNeed    int      // largest NAK deficit seen; feeds the loss estimators
 	txCount    int      // data+parity packets actually transmitted for this TG
 }
 
@@ -125,6 +151,10 @@ func NewSender(env Env, cfg Config) (*Sender, error) {
 		s.pumping = false
 		s.pump()
 	}
+	if cfg.AdaptiveFEC {
+		s.ctl = adapt.New(cfg.Adapt, cfg.Metrics)
+		s.codecs = newCodecCache(cfg.ShardSize, cfg.Metrics)
+	}
 	if cfg.Pipeline.enabled() && cfg.Pipeline.Batch > 1 {
 		s.benv, _ = env.(BatchEnv)
 		s.batch = make([][]byte, 0, cfg.Pipeline.Batch)
@@ -141,6 +171,42 @@ func (s *Sender) PipelineStats() PipelineStats { return s.pstats }
 
 // Groups returns the number of transmission groups of the current message.
 func (s *Sender) Groups() int { return len(s.groups) }
+
+// SourcePackets returns the number of distinct source (data) packets cut so
+// far — the E[M] denominator. Under adaptive FEC groups carry different k,
+// so this is the per-group sum rather than Groups()*K.
+func (s *Sender) SourcePackets() int {
+	n := 0
+	for _, tg := range s.groups {
+		n += tg.k
+	}
+	return n
+}
+
+// Adapt returns the adaptive FEC controller, or nil when the sender runs a
+// static configuration. Read it only from the transport's event goroutine
+// (e.g. inside conn.Do), like Stats.
+func (s *Sender) Adapt() *adapt.Controller { return s.ctl }
+
+// GroupInfo is one transmission group's negotiated working point and
+// realized cost, as reported by GroupTrace.
+type GroupInfo struct {
+	Index   uint32
+	K, H    int // codec parameters the group was cut at
+	AUsed   int // proactive parities actually sent in the first round
+	TxCount int // data+parity transmissions so far, repairs included
+}
+
+// GroupTrace snapshots the per-group parameter trajectory of the current
+// transfer, in stream order — under adaptive FEC this is the retune
+// schedule the scenario tooling plots. Same goroutine rules as Stats.
+func (s *Sender) GroupTrace() []GroupInfo {
+	out := make([]GroupInfo, len(s.groups))
+	for i, tg := range s.groups {
+		out[i] = GroupInfo{Index: tg.index, K: tg.k, H: tg.h, AUsed: tg.aUsed, TxCount: tg.txCount}
+	}
+	return out
+}
 
 // Close stops the sender; queued packets are dropped. The first Close
 // also flushes the per-TG transmission histogram (np_sender_tg_transmissions)
@@ -177,6 +243,9 @@ func (s *Sender) Send(msg []byte) error {
 	}
 	s.started = true
 	s.msgLen = uint64(len(msg))
+	if s.cfg.AdaptiveFEC {
+		return s.sendAdaptive(msg)
+	}
 
 	perTG := s.cfg.K * s.cfg.ShardSize
 	nTG := (len(msg) + perTG - 1) / perTG
@@ -192,7 +261,7 @@ func (s *Sender) Send(msg []byte) error {
 		flatData = make([][]byte, 0, nTG*s.cfg.K)
 	}
 	for g := range s.groups {
-		tg := &txGroup{index: uint32(g), data: make([][]byte, s.cfg.K)}
+		tg := &txGroup{index: uint32(g), data: make([][]byte, s.cfg.K), k: s.cfg.K, h: s.cfg.MaxParity}
 		base := g * perTG
 		for i := 0; i < s.cfg.K; i++ {
 			shard := make([]byte, s.cfg.ShardSize)
@@ -264,6 +333,9 @@ func (s *Sender) Send(msg []byte) error {
 		for _, tg := range s.groups {
 			tg.parities = make([][]byte, s.encAhead)
 		}
+		s.encGroups = s.groups
+		s.encCodec = s.code
+		s.encH = s.cfg.MaxParity
 		s.m.shardWidth.Set(int64(s.encShards))
 		s.enc = pipeline.New(nTG*s.encShards, s.cfg.Pipeline.Workers, s.encodeJob)
 		s.enc.Prefetch(s.cfg.Pipeline.Depth*s.encShards - 1)
@@ -274,6 +346,170 @@ func (s *Sender) Send(msg []byte) error {
 	s.m.sourcePkts.Add(uint64(nTG * s.cfg.K))
 	s.pump()
 	return nil
+}
+
+// sendAdaptive starts an adaptive (renegotiating) transfer: the message is
+// retained whole and cut into transmission groups lazily, so the control
+// plane can retune (k, h, a) between groups. Wire frames go out as
+// version 2, carrying each group's parameters in the TG header.
+func (s *Sender) sendAdaptive(msg []byte) error {
+	minK := s.cfg.Adapt.Ladder[0].P.K
+	for _, r := range s.cfg.Adapt.Ladder {
+		if r.P.K < minK {
+			minK = r.P.K
+		}
+	}
+	// Bound the group count by the leanest possible cut: even if the
+	// controller spends the whole transfer on the smallest-k rung, the
+	// group index must fit the receivers' MaxGroups budget.
+	perTG := minK * s.cfg.ShardSize
+	maxTG := (len(msg) + perTG - 1) / perTG
+	if maxTG == 0 {
+		maxTG = 1
+	}
+	if maxTG > s.cfg.MaxGroups {
+		return fmt.Errorf("core: message could need %d TGs at the ladder's smallest k, exceeding MaxGroups = %d", maxTG, s.cfg.MaxGroups)
+	}
+	// The era machinery re-reads the message on every retune, so the
+	// sender owns a copy rather than holding the caller to immutability.
+	// The copy stays non-nil even for an empty message: s.msg == nil means
+	// "no adaptive transfer active" to refillAdaptive.
+	s.msg = make([]byte, len(msg))
+	copy(s.msg, msg)
+	s.frames.minCap = packet.HeaderLenV2 + s.cfg.ShardSize
+	s.finLeft = s.cfg.FinCount
+	s.pump()
+	return nil
+}
+
+// startEra (re)cuts the untransmitted remainder of the message into groups
+// at working point p and restarts the encode-ahead pool over them. On a
+// retune this is the renegotiation flush: the previous era's unstreamed
+// groups and queued encode jobs are discarded at the TG boundary, and the
+// remainder is re-cut at the new (k, h). Groups already streamed are
+// untouched — their repairs keep using their negotiated parameters.
+func (s *Sender) startEra(p adapt.Params) {
+	if s.enc != nil {
+		s.enc.Close()
+		s.enc = nil
+		s.m.encQueue.Set(0)
+	}
+	perTG := p.K * s.cfg.ShardSize
+	n := (len(s.msg) - s.cursor + perTG - 1) / perTG
+	if n == 0 && len(s.groups) == 0 {
+		n = 1 // the empty transfer still announces one (zero-filled) group
+	}
+	s.era = make([]*txGroup, n)
+	s.eraNext = 0
+	s.eraBase = len(s.groups)
+	for g := range s.era {
+		tg := &txGroup{index: uint32(s.eraBase + g), data: make([][]byte, p.K), k: p.K, h: p.H}
+		base := s.cursor + g*perTG
+		for i := 0; i < p.K; i++ {
+			shard := make([]byte, s.cfg.ShardSize)
+			if off := base + i*s.cfg.ShardSize; off < len(s.msg) {
+				copy(shard, s.msg[off:])
+			}
+			tg.data[i] = shard
+		}
+		s.era[g] = tg
+	}
+	// Encode ahead at the rung's proactive count. Probe TGs (a = 0 on the
+	// wire) still profit: their parities serve the repair rounds they
+	// invite.
+	ahead := s.ctl.Params().A
+	if s.cfg.Pipeline.enabled() && ahead > 0 && n > 0 {
+		s.encAhead = ahead
+		s.encShards = s.cfg.Pipeline.EncodeShards
+		if s.encShards > ahead {
+			s.encShards = ahead
+		}
+		for _, tg := range s.era {
+			tg.parities = make([][]byte, ahead)
+		}
+		s.encGroups = s.era
+		s.encCodec = s.codecKH(p.K, p.H)
+		s.encH = p.H
+		s.encDone = 0
+		s.m.shardWidth.Set(int64(s.encShards))
+		s.enc = pipeline.New(n*s.encShards, s.cfg.Pipeline.Workers, s.encodeJob)
+		s.enc.Prefetch(s.cfg.Pipeline.Depth*s.encShards - 1)
+	}
+}
+
+// refillAdaptive streams the next transmission group under the control
+// plane: close observations whose feedback window has elapsed, ask the
+// controller for the next working point, renegotiate (flush and re-cut
+// the era) on a retune, then stream one group at the era's parameters.
+func (s *Sender) refillAdaptive() {
+	if s.msg == nil || s.finSent {
+		return
+	}
+	// Group g's observation closes when group g+ObserveLag is about to be
+	// cut: its worst first-round NAK deficit has had that many group
+	// airtimes to arrive (0 deficit = no NAK, exact at a=0, censored
+	// otherwise — see internal/adapt).
+	for s.obsNext+s.cfg.ObserveLag <= len(s.groups) {
+		tg := s.groups[s.obsNext]
+		s.ctl.Observe(tg.k, tg.aUsed, tg.maxNeed)
+		s.obsNext++
+	}
+	prm, changed := s.ctl.Decide()
+	if s.era == nil || changed {
+		//rmlint:ignore hotpath-alloc era cut runs once per retune, not per group; amortized across the era's groups
+		s.startEra(prm)
+	}
+	if s.eraNext >= len(s.era) {
+		s.finSent = true
+		s.enqueueFin()
+		return
+	}
+	tg := s.era[s.eraNext]
+	s.eraNext++
+	//rmlint:ignore hotpath-alloc session-lifetime group log; doubling growth is amortized over the transfer
+	s.groups = append(s.groups, tg)
+	if s.cursor += tg.k * s.cfg.ShardSize; s.cursor > len(s.msg) {
+		s.cursor = len(s.msg)
+	}
+	s.collectParities(tg)
+	for i := 0; i < tg.k; i++ {
+		s.enqueue(outPkt{wire: s.dataPacket(tg, i), kind: packet.TypeData, tg: tg})
+	}
+	a := prm.A
+	if a > tg.h {
+		a = tg.h
+	}
+	sent := 0
+	for j := 0; j < a; j++ {
+		wire, err := s.parityPacket(tg)
+		if err != nil {
+			break
+		}
+		s.enqueue(outPkt{wire: wire, kind: packet.TypeParity, tg: tg})
+		sent++
+	}
+	tg.aUsed = sent
+	s.enqueuePoll(tg, tg.k+sent)
+	s.m.groups.Inc()
+	s.m.sourcePkts.Add(uint64(tg.k))
+	if s.cursor >= len(s.msg) {
+		s.finSent = true
+		s.enqueueFin()
+	}
+}
+
+// codecKH returns the codec for a (k, h) working point: the static codec
+// when it matches the config (the only case outside adaptive sessions),
+// else a cached per-rung instance.
+func (s *Sender) codecKH(k, h int) erasureCodec {
+	if k == s.cfg.K && h == s.cfg.MaxParity {
+		return s.code
+	}
+	c, err := s.codecs.get(k, h)
+	if err != nil {
+		panic(err) // ladder rungs are validated against codec limits
+	}
+	return c
 }
 
 // encodeJob computes one row shard of a TG's first encAhead parities:
@@ -290,14 +526,14 @@ func (s *Sender) Send(msg []byte) error {
 // parityPacket.
 func (s *Sender) encodeJob(idx int) {
 	g, sh := idx/s.encShards, idx%s.encShards
-	tg := s.groups[g]
+	tg := s.encGroups[g]
 	s.m.shardJobs.Inc()
-	if s.encAhead == s.cfg.MaxParity {
-		s.code.EncodeBlocksShard(tg.data, tg.parities, sh, s.encShards) //nolint:errcheck // failed rows stay empty; engine re-encodes
+	if s.encAhead == s.encH {
+		s.encCodec.EncodeBlocksShard(tg.data, tg.parities, sh, s.encShards) //nolint:errcheck // failed rows stay empty; engine re-encodes
 		return
 	}
 	for j := sh; j < s.encAhead; j += s.encShards {
-		shard, err := s.code.EncodeParity(j, tg.data)
+		shard, err := s.encCodec.EncodeParity(j, tg.data)
 		if err != nil {
 			return
 		}
@@ -311,11 +547,13 @@ func (s *Sender) encodeJob(idx int) {
 // accounts the encoded shards. No-op on the serial path and after the
 // first collection.
 func (s *Sender) collectParities(tg *txGroup) {
-	if s.enc == nil || tg.collected {
+	if s.enc == nil || tg.collected || int(tg.index) < s.eraBase {
+		// The last case is an adaptive group from a flushed era: its pool
+		// is gone and any uncollected parities were discarded with it.
 		return
 	}
 	tg.collected = true
-	base := int(tg.index) * s.encShards
+	base := (int(tg.index) - s.eraBase) * s.encShards
 	ready := true
 	for sh := 0; sh < s.encShards; sh++ {
 		if !s.enc.Wait(base + sh) {
@@ -330,7 +568,7 @@ func (s *Sender) collectParities(tg *txGroup) {
 		s.m.encMisses.Inc()
 	}
 	s.encDone += s.encShards
-	s.enc.Prefetch((int(tg.index)+s.cfg.Pipeline.Depth)*s.encShards + s.encShards - 1)
+	s.enc.Prefetch((int(tg.index)-s.eraBase+s.cfg.Pipeline.Depth)*s.encShards + s.encShards - 1)
 	s.m.encQueue.Set(int64(s.enc.Submitted() - s.encDone))
 	enc := 0
 	for _, p := range tg.parities {
@@ -365,6 +603,10 @@ func (s *Sender) proactiveFor() int {
 // group. Lazy streaming keeps memory proportional to one group and lets
 // the adaptive mode steer later groups with earlier groups' feedback.
 func (s *Sender) refill() {
+	if s.cfg.AdaptiveFEC {
+		s.refillAdaptive()
+		return
+	}
 	if s.groups == nil || s.nextTG >= len(s.groups) {
 		return
 	}
@@ -404,7 +646,16 @@ func (s *Sender) HandlePacket(wire []byte) {
 		return
 	}
 	var pkt packet.Packet
-	if err := packet.DecodeInto(&pkt, wire); err != nil || pkt.Session != s.cfg.Session {
+	var err error
+	if s.cfg.AdaptiveFEC {
+		err = packet.DecodeInto(&pkt, wire)
+	} else {
+		// Non-adaptive engines speak strict v1: v2 frames on a shared
+		// group are rejected wholesale, exactly as before renegotiation
+		// existed.
+		err = packet.DecodeIntoV1(&pkt, wire)
+	}
+	if err != nil || pkt.Session != s.cfg.Session {
 		return
 	}
 	if pkt.Type != packet.TypeNak {
@@ -422,11 +673,11 @@ func (s *Sender) HandlePacket(wire []byte) {
 	if need <= 0 {
 		return
 	}
-	if need > s.cfg.K {
+	if need > tg.k {
 		// A receiver can never miss more than the k packets of a TG;
 		// larger values are corruption or hostility, so clamp rather than
 		// flood the group with repairs.
-		need = s.cfg.K
+		need = tg.k
 	}
 	if need > tg.maxNeed {
 		tg.maxNeed = need
@@ -460,7 +711,7 @@ func (s *Sender) serviceRound(tg *txGroup, extra int) {
 	s.collectParities(tg) // a NAK can outrun the group's refill
 	round := s.round[:0]
 	for i := 0; i < extra; i++ {
-		if tg.nextParity < s.cfg.MaxParity {
+		if tg.nextParity < tg.h {
 			wire, err := s.parityPacket(tg)
 			if err != nil {
 				// Cannot happen with validated config; drop the round.
@@ -474,7 +725,7 @@ func (s *Sender) serviceRound(tg *txGroup, extra int) {
 			// cursor guarantees every data packet is re-sent within K
 			// fallback transmissions, so any loss pattern is eventually
 			// repaired.
-			idx := tg.resendCur % s.cfg.K
+			idx := tg.resendCur % tg.k
 			tg.resendCur++
 			//rmlint:ignore hotpath-alloc round reuses the s.round backing; grows only until the largest repair round
 			round = append(round, outPkt{wire: s.dataPacket(tg, idx), kind: packet.TypeData, service: true, tg: tg})
@@ -510,7 +761,24 @@ func (s *Sender) enqueueFin() {
 		Total:   uint32(len(s.groups)),
 		Payload: payload[:],
 	}
+	if s.cfg.AdaptiveFEC {
+		// The FIN carries the only authoritative group count of an
+		// adaptive transfer — data packets say Total = 0 because the
+		// count depends on retunes still ahead. It is first enqueued
+		// after the last group, when len(s.groups) is final.
+		p.Vers = packet.V2
+	}
 	s.enqueue(outPkt{wire: s.frameFor(&p), control: true, kind: packet.TypeFin})
+}
+
+// wireTotal is the Total field of TG-scoped packets: the group count on
+// the static path; 0 (unknown until FIN) on the adaptive path, where
+// future retunes change how many groups the message cuts into.
+func (s *Sender) wireTotal() uint32 {
+	if s.cfg.AdaptiveFEC {
+		return 0
+	}
+	return uint32(len(s.groups))
 }
 
 // frameFor marshals p into a pooled wire frame. The frame returns to the
@@ -530,17 +798,28 @@ func (s *Sender) dataPacket(tg *txGroup, i int) []byte {
 		Session: s.cfg.Session,
 		Group:   tg.index,
 		Seq:     uint16(i),
-		K:       uint16(s.cfg.K),
-		Total:   uint32(len(s.groups)),
+		K:       uint16(tg.k),
+		Total:   s.wireTotal(),
 		Payload: tg.data[i],
 	}
+	s.stampVersion(&p, tg)
 	return s.frameFor(&p)
+}
+
+// stampVersion upgrades a TG-scoped packet to wire v2 on adaptive
+// sessions, carrying the group's negotiated parity budget in the extended
+// header. Static sessions stay on v1 byte for byte.
+func (s *Sender) stampVersion(p *packet.Packet, tg *txGroup) {
+	if s.cfg.AdaptiveFEC {
+		p.Vers = packet.V2
+		p.H = uint16(tg.h)
+	}
 }
 
 func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
 	j := tg.nextParity
-	if j >= s.cfg.MaxParity {
-		return nil, fmt.Errorf("core: parity index %d beyond budget %d", j, s.cfg.MaxParity)
+	if j >= tg.h {
+		return nil, fmt.Errorf("core: parity index %d beyond budget %d", j, tg.h)
 	}
 	var shard []byte
 	if j < len(tg.parities) && len(tg.parities[j]) > 0 {
@@ -550,7 +829,7 @@ func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
 		shard = tg.parities[j]
 	} else {
 		var err error
-		shard, err = s.code.EncodeParity(j, tg.data)
+		shard, err = s.codecKH(tg.k, tg.h).EncodeParity(j, tg.data)
 		if err != nil {
 			return nil, err
 		}
@@ -562,11 +841,12 @@ func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
 		Type:    packet.TypeParity,
 		Session: s.cfg.Session,
 		Group:   tg.index,
-		Seq:     uint16(s.cfg.K + j),
-		K:       uint16(s.cfg.K),
-		Total:   uint32(len(s.groups)),
+		Seq:     uint16(tg.k + j),
+		K:       uint16(tg.k),
+		Total:   s.wireTotal(),
 		Payload: shard,
 	}
+	s.stampVersion(&p, tg)
 	return s.frameFor(&p), nil
 }
 
@@ -575,10 +855,11 @@ func (s *Sender) pollPacket(tg *txGroup, roundSize int) []byte {
 		Type:    packet.TypePoll,
 		Session: s.cfg.Session,
 		Group:   tg.index,
-		K:       uint16(s.cfg.K),
+		K:       uint16(tg.k),
 		Count:   uint16(roundSize),
-		Total:   uint32(len(s.groups)),
+		Total:   s.wireTotal(),
 	}
+	s.stampVersion(&p, tg)
 	return s.frameFor(&p)
 }
 

@@ -129,6 +129,10 @@ type Field struct {
 	freePend   [][]int64
 	jitters    map[int]*rand.Rand // Exact mode: lazy per-receiver jitter streams
 
+	// Adaptive sessions: ladder bounds for per-group (k, h) taken from the
+	// v2 TG headers. Outside adaptive mode they mirror the static config.
+	maxK, maxH int
+
 	stats Stats
 	m     fieldMetrics
 }
@@ -136,6 +140,8 @@ type Field struct {
 // fgroup is one transmission group's field state.
 type fgroup struct {
 	idx     uint32
+	k       int     // negotiated data shards; 0 while unknown (FIN-created)
+	h       int     // negotiated parity budget
 	pend    []int64 // packed id<<6|seq loss pairs, pre-consolidation
 	seqSeen uint64  // distinct seqs that arrived at the field's endpoint
 	nTx     int     // popcount of seqSeen
@@ -181,6 +187,14 @@ func New(env core.Env, cfg Config) (*Field, error) {
 		return nil, fmt.Errorf("field: K+MaxParity = %d exceeds the 64-shard bitmap limit; set MaxParity <= %d explicitly",
 			pc.K+pc.MaxParity, 64-pc.K)
 	}
+	if pc.AdaptiveFEC {
+		for i, r := range pc.Adapt.Ladder {
+			if r.P.K+r.P.H > 64 {
+				return nil, fmt.Errorf("field: ladder rung %d has k+h = %d, exceeding the 64-shard bitmap limit",
+					i, r.P.K+r.P.H)
+			}
+		}
+	}
 	f := &Field{
 		env:        env,
 		cfg:        pc,
@@ -192,7 +206,12 @@ func New(env core.Env, cfg Config) (*Field, error) {
 		interDelay: cfg.InterDelay,
 		groups:     make(map[uint32]*fgroup),
 		totalTG:    -1,
+		maxK:       pc.K,
+		maxH:       pc.MaxParity,
 		m:          newFieldMetrics(pc.Metrics),
+	}
+	if pc.AdaptiveFEC {
+		f.maxK, f.maxH = pc.Adapt.MaxKH()
 	}
 	if f.interDelay == 0 {
 		f.interDelay = 2 * time.Millisecond
@@ -264,23 +283,52 @@ func (f *Field) GroupTx() []int {
 	return tx
 }
 
+// GroupKs returns the per-group negotiated k indexed by group (cfg.K for
+// static sessions; 0 for adaptive groups whose parameters were never
+// learned), or nil before the total group count is known.
+func (f *Field) GroupKs() []int {
+	if f.totalTG < 0 {
+		return nil
+	}
+	ks := make([]int, f.totalTG)
+	for i := range ks {
+		ks[i] = f.cfg.K
+	}
+	if f.cfg.AdaptiveFEC {
+		for idx, g := range f.groups {
+			if int(idx) < f.totalTG {
+				ks[idx] = g.k
+			}
+		}
+	}
+	return ks
+}
+
 // EM returns the measured expected transmission multiplicity E[M] — the
-// mean over groups of arrivals/k — and its standard error over groups.
+// mean over groups of arrivals/k, with each group's own negotiated k on
+// adaptive sessions — and its standard error over groups.
 func (f *Field) EM() (mean, se float64) {
 	tx := f.GroupTx()
 	if len(tx) == 0 {
 		return 0, 0
 	}
-	k := float64(f.cfg.K)
+	ks := f.GroupKs()
 	var sum, sumSq float64
-	for _, t := range tx {
-		m := float64(t) / k
+	n := 0.0
+	for i, t := range tx {
+		if ks[i] <= 0 {
+			continue // parameters never learned; no multiplicity to report
+		}
+		m := float64(t) / float64(ks[i])
 		sum += m
 		sumSq += m * m
+		n++
 	}
-	n := float64(len(tx))
+	if n == 0 {
+		return 0, 0
+	}
 	mean = sum / n
-	if len(tx) > 1 {
+	if n > 1 {
 		variance := (sumSq - sum*sum/n) / (n - 1)
 		if variance > 0 {
 			se = math.Sqrt(variance / n)
@@ -300,7 +348,15 @@ func (f *Field) HandlePacket(wire []byte) {
 		return
 	}
 	var pkt packet.Packet
-	if err := packet.DecodeInto(&pkt, wire); err != nil {
+	var err error
+	if f.cfg.AdaptiveFEC {
+		err = packet.DecodeInto(&pkt, wire)
+	} else {
+		// Static fields speak strict v1, like core.Receiver: v2 frames are
+		// rejected wholesale before they can advance the loss population.
+		err = packet.DecodeIntoV1(&pkt, wire)
+	}
+	if err != nil {
 		return
 	}
 	var lost []int
@@ -362,12 +418,17 @@ func (f *Field) drawLoss(pkt *packet.Packet) []int {
 // unfinished group of this session — the only case where a subset draw is
 // sound (new losses can no longer make a done receiver deficient).
 func (f *Field) targetConsolidated(pkt *packet.Packet) bool {
-	if pkt.Session != f.cfg.Session || int(pkt.K) != f.cfg.K ||
-		int64(pkt.Group) >= int64(f.cfg.MaxGroups) {
+	if pkt.Session != f.cfg.Session || int64(pkt.Group) >= int64(f.cfg.MaxGroups) {
 		return false
 	}
 	g, ok := f.groups[pkt.Group]
-	return ok && g.consolidated && !g.done
+	if !ok || !g.consolidated || g.done {
+		return false
+	}
+	if f.cfg.AdaptiveFEC {
+		return int(pkt.K) == g.k
+	}
+	return int(pkt.K) == f.cfg.K
 }
 
 func (f *Field) noteTotal(total uint32) {
@@ -389,8 +450,39 @@ func (f *Field) group(idx uint32) *fgroup {
 	return g
 }
 
+// wireKH extracts and validates a TG-scoped packet's group parameters,
+// mirroring core.Receiver: static sessions pin them to the config,
+// adaptive sessions read them from the v2 header bounded by the ladder.
+func (f *Field) wireKH(pkt *packet.Packet) (k, h int, ok bool) {
+	if !f.cfg.AdaptiveFEC {
+		if int(pkt.K) != f.cfg.K {
+			return 0, 0, false
+		}
+		return f.cfg.K, f.cfg.MaxParity, true
+	}
+	k = int(pkt.K)
+	h = f.maxH
+	if pkt.Vers == packet.V2 {
+		h = int(pkt.H)
+	}
+	if k < 1 || k > f.maxK || h < 0 || h > f.maxH || k+h > 64 {
+		return 0, 0, false
+	}
+	return k, h, true
+}
+
+// groupK returns the data-shard count NAK math uses for g: its negotiated
+// k, or the ladder's largest k when the group is known only from a FIN.
+func (f *Field) groupK(g *fgroup) int {
+	if g.k > 0 {
+		return g.k
+	}
+	return f.maxK
+}
+
 func (f *Field) onShard(pkt *packet.Packet, lost []int) {
-	if int(pkt.K) != f.cfg.K {
+	k, h, ok := f.wireKH(pkt)
+	if !ok {
 		return
 	}
 	if int64(pkt.Group) >= int64(f.cfg.MaxGroups) {
@@ -398,8 +490,13 @@ func (f *Field) onShard(pkt *packet.Packet, lost []int) {
 	}
 	f.noteTotal(pkt.Total)
 	g := f.group(pkt.Group)
+	if g.k == 0 {
+		g.k, g.h = k, h // FIN-created group adopts the negotiated params
+	} else if g.k != k {
+		return // conflicting parameters for the same group
+	}
 	seq := int(pkt.Seq)
-	if seq >= f.cfg.K+f.cfg.MaxParity || len(pkt.Payload) != f.cfg.ShardSize {
+	if seq >= g.k+g.h || len(pkt.Payload) != f.cfg.ShardSize {
 		return
 	}
 	g.tx++
@@ -460,7 +557,7 @@ func (f *Field) applyRepair(g *fgroup, seq int, fresh bool, lost []int) {
 // deficit returns how many shards active receiver i still needs: its
 // misses beyond the group's excess transmissions, i.e. k - have.
 func (f *Field) deficit(g *fgroup, i int) int {
-	l := bits.OnesCount64(g.missed[i]) - (g.nTx - f.cfg.K)
+	l := bits.OnesCount64(g.missed[i]) - (g.nTx - f.groupK(g))
 	if l < 0 {
 		l = 0
 	}
@@ -525,7 +622,7 @@ func (f *Field) consolidate(g *fgroup) {
 		return
 	}
 	g.consolidated = true
-	excess := g.nTx - f.cfg.K
+	excess := g.nTx - f.groupK(g)
 	if excess < 0 {
 		f.materializeAll(g)
 	} else {
@@ -596,6 +693,11 @@ func (f *Field) onPoll(pkt *packet.Packet) {
 	}
 	f.noteTotal(pkt.Total)
 	g := f.group(pkt.Group)
+	if g.k == 0 {
+		if k, h, ok := f.wireKH(pkt); ok {
+			g.k, g.h = k, h
+		}
+	}
 	if !g.done {
 		f.consolidate(g)
 	}
@@ -665,11 +767,11 @@ func (f *Field) onFin(pkt *packet.Packet) {
 		if f.exact {
 			for j := range g.ids {
 				if g.cancel[j] == nil {
-					f.armExact(g, j, f.cfg.K)
+					f.armExact(g, j, f.groupK(g))
 				}
 			}
 		} else if g.repCancel == nil {
-			f.armRep(g, f.cfg.K)
+			f.armRep(g, f.groupK(g))
 		}
 	}
 	f.maybeComplete()
@@ -700,11 +802,17 @@ func (f *Field) slotDelay(roundSize, l int) time.Duration {
 
 // sendNak multicasts one NAK carrying deficit l for group idx.
 func (f *Field) sendNak(idx uint32, l int) {
+	k := f.cfg.K
+	if f.cfg.AdaptiveFEC {
+		if g, ok := f.groups[idx]; ok {
+			k = f.groupK(g)
+		}
+	}
 	nak := packet.Packet{
 		Type:    packet.TypeNak,
 		Session: f.cfg.Session,
 		Group:   idx,
-		K:       uint16(f.cfg.K),
+		K:       uint16(k),
 		Count:   uint16(l),
 	}
 	frame := make([]byte, nak.EncodedLen())

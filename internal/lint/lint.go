@@ -109,6 +109,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		EnvPackages: []string{
+			"internal/adapt",
 			"internal/core",
 			"internal/field",
 			"internal/layered",
@@ -125,6 +126,7 @@ func DefaultConfig() Config {
 		// Adding a new engine package here and routing its concurrency
 		// through mcrun, pipeline or a transport is the intended pattern.
 		GoroutineFreePackages: []string{
+			"internal/adapt",
 			"internal/core",
 			"internal/field",
 			"internal/layered",

@@ -2,6 +2,7 @@ package packet
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -11,7 +12,10 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&Packet{Type: TypeData, Payload: []byte("seed")}).MustEncode())
 	f.Add((&Packet{Type: TypeFin, Total: 9, Payload: make([]byte, 8)}).MustEncode())
-	f.Add([]byte{Magic, Version, byte(TypeNak), 0, 0, 0, 0, 1})
+	f.Add([]byte{Magic, V1, byte(TypeNak), 0, 0, 0, 0, 1})
+	f.Add((&Packet{Vers: V2, Type: TypeData, K: 8, H: 4, Payload: []byte("v2 seed")}).MustEncode())
+	f.Add((&Packet{Vers: V2, Type: TypeParity, K: 12, H: 10, Seq: 13, Codec: 1, CodecArg: 2}).MustEncode())
+	f.Add([]byte{Magic, V2, byte(TypePoll), 0, 0, 0, 0, 1}) // v2 header truncated below HeaderLenV2
 	f.Fuzz(func(t *testing.T, b []byte) {
 		p, err := Decode(b)
 		if err != nil {
@@ -27,8 +31,24 @@ func FuzzDecode(f *testing.F) {
 		}
 		if p.Type != p2.Type || p.Session != p2.Session || p.Group != p2.Group ||
 			p.Seq != p2.Seq || p.K != p2.K || p.Count != p2.Count ||
-			p.Total != p2.Total || !bytes.Equal(p.Payload, p2.Payload) {
+			p.Total != p2.Total || p.Vers != p2.Vers || p.H != p2.H ||
+			p.Codec != p2.Codec || p.CodecArg != p2.CodecArg ||
+			!bytes.Equal(p.Payload, p2.Payload) {
 			t.Fatal("decode/encode/decode not idempotent")
+		}
+
+		// The strict v1 decoder must agree with DecodeInto on v1 frames and
+		// reject v2 frames with ErrBadVersion — never panic or misparse.
+		var v1only Packet
+		switch err := DecodeIntoV1(&v1only, wire); p.Vers {
+		case V1:
+			if err != nil {
+				t.Fatalf("DecodeIntoV1 rejected a v1 frame: %v", err)
+			}
+		default:
+			if !errors.Is(err, ErrBadVersion) {
+				t.Fatalf("DecodeIntoV1(v%d frame) = %v, want ErrBadVersion", p.Vers, err)
+			}
 		}
 
 		// The append-style paths must agree with Encode byte for byte.
@@ -55,7 +75,9 @@ func FuzzDecode(f *testing.F) {
 		}
 		if alias.Type != p2.Type || alias.Session != p2.Session || alias.Group != p2.Group ||
 			alias.Seq != p2.Seq || alias.K != p2.K || alias.Count != p2.Count ||
-			alias.Total != p2.Total || !bytes.Equal(alias.Payload, p2.Payload) {
+			alias.Total != p2.Total || alias.Vers != p2.Vers || alias.H != p2.H ||
+			alias.Codec != p2.Codec || alias.CodecArg != p2.CodecArg ||
+			!bytes.Equal(alias.Payload, p2.Payload) {
 			t.Fatal("DecodeInto and Decode disagree")
 		}
 	})

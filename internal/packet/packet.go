@@ -1,9 +1,9 @@
 // Package packet defines the wire format shared by the reliable-multicast
 // protocols NP (hybrid ARQ with parity retransmission) and N2 (ARQ with
-// original retransmission). A single fixed 24-byte header covers every
-// packet type; payload-bearing packets (DATA, PARITY) append their shard.
+// original retransmission). A fixed header covers every packet type;
+// payload-bearing packets (DATA, PARITY) append their shard.
 //
-// Layout (big endian):
+// Version 1 layout (big endian, 24-byte header):
 //
 //	offset 0  : magic 'R' (0x52)
 //	offset 1  : version (1)
@@ -20,6 +20,23 @@
 //	offset 20 : uint32 total  — FIN: number of TGs (NP) / packets (N2) in
 //	                            the transfer; 0 elsewhere
 //	offset 24 : payload
+//
+// Version 2 extends the header to 28 bytes for the adaptive FEC control
+// plane (see internal/adapt): the TG header carries the full codec
+// parameterisation so a sender may renegotiate (k, h) between transmission
+// groups mid-transfer and receivers can size each group's state from the
+// wire alone:
+//
+//	offset 24 : uint16 h      — parities encodable for this TG
+//	offset 26 : uint8  codec  — repair-code identifier (0 = Reed-Solomon,
+//	                            Vandermonde, GF chosen by k+h as in v1)
+//	offset 27 : uint8  codec arg — codec-specific parameter, 0 for RS
+//	offset 28 : payload
+//
+// A v1 decoder rejects v2 frames with ErrBadVersion — cleanly, not as a
+// misparse: engines that have not opted into adaptive sessions ignore them
+// wholesale (see DecodeIntoV1). V2 decoders accept both versions; a v1
+// frame decodes with H = 0 and Codec = 0.
 package packet
 
 import (
@@ -61,10 +78,17 @@ func (t Type) String() string {
 
 // Wire format constants.
 const (
-	Magic      = 0x52 // 'R'
-	Version    = 1
-	HeaderLen  = 24
-	MaxPayload = 1 << 16 // payload length field is uint16; 65535 usable
+	Magic = 0x52 // 'R'
+	// V1 is the fixed-parameter wire format of the original protocol; V2
+	// adds the (h, codec) TG-header fields the adaptive FEC control plane
+	// renegotiates mid-transfer. Version is the highest version this
+	// package speaks.
+	V1          = 1
+	V2          = 2
+	Version     = V2
+	HeaderLen   = 24      // v1 header bytes
+	HeaderLenV2 = 28      // v2 header bytes
+	MaxPayload  = 1 << 16 // payload length field is uint16; 65535 usable
 )
 
 // Decoding errors.
@@ -88,10 +112,30 @@ type Packet struct {
 	Count   uint16
 	Total   uint32
 	Payload []byte
+
+	// Vers selects the wire version on marshal: 0 and V1 emit the 24-byte
+	// v1 header, V2 the 28-byte extended header. Decode sets it to the
+	// version found on the wire.
+	Vers uint8
+	// H is the TG's parity budget, carried only by v2 frames (0 on v1).
+	H uint16
+	// Codec and CodecArg identify the repair code of a v2 TG header:
+	// 0/0 is Reed-Solomon (Vandermonde, field chosen by k+h). Reserved
+	// for the codec-portfolio work; carried verbatim.
+	Codec    uint8
+	CodecArg uint8
 }
 
-// EncodedLen returns the wire size of p: the fixed header plus payload.
-func (p *Packet) EncodedLen() int { return HeaderLen + len(p.Payload) }
+// headerLen returns the header size p marshals with.
+func (p *Packet) headerLen() int {
+	if p.Vers == V2 {
+		return HeaderLenV2
+	}
+	return HeaderLen
+}
+
+// EncodedLen returns the wire size of p: the version's header plus payload.
+func (p *Packet) EncodedLen() int { return p.headerLen() + len(p.Payload) }
 
 // MarshalTo encodes p into the beginning of dst, which must have room for
 // EncodedLen() bytes, and returns the number of bytes written. It performs
@@ -103,15 +147,19 @@ func (p *Packet) MarshalTo(dst []byte) (int, error) {
 	if p.Type == TypeInvalid || p.Type > TypeFin {
 		return 0, fmt.Errorf("%w: %d", ErrBadType, p.Type)
 	}
+	if p.Vers > V2 {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, p.Vers)
+	}
 	if len(p.Payload) >= MaxPayload {
 		return 0, fmt.Errorf("%w: %d bytes", ErrOversize, len(p.Payload))
 	}
-	n := HeaderLen + len(p.Payload)
+	hlen := p.headerLen()
+	n := hlen + len(p.Payload)
 	if len(dst) < n {
 		return 0, fmt.Errorf("%w: need %d bytes, have %d", ErrTooShort, n, len(dst))
 	}
 	dst[0] = Magic
-	dst[1] = Version
+	dst[1] = V1
 	dst[2] = byte(p.Type)
 	dst[3] = 0
 	binary.BigEndian.PutUint32(dst[4:], p.Session)
@@ -121,7 +169,13 @@ func (p *Packet) MarshalTo(dst []byte) (int, error) {
 	binary.BigEndian.PutUint16(dst[16:], p.Count)
 	binary.BigEndian.PutUint16(dst[18:], uint16(len(p.Payload)))
 	binary.BigEndian.PutUint32(dst[20:], p.Total)
-	copy(dst[HeaderLen:], p.Payload)
+	if p.Vers == V2 {
+		dst[1] = V2
+		binary.BigEndian.PutUint16(dst[24:], p.H)
+		dst[26] = p.Codec
+		dst[27] = p.CodecArg
+	}
+	copy(dst[hlen:], p.Payload)
 	return n, nil
 }
 
@@ -148,7 +202,7 @@ func (p *Packet) AppendEncode(dst []byte) ([]byte, error) { return p.AppendTo(ds
 
 // Encode returns the wire encoding of p in a fresh buffer.
 func (p *Packet) Encode() ([]byte, error) {
-	return p.AppendEncode(make([]byte, 0, HeaderLen+len(p.Payload)))
+	return p.AppendEncode(make([]byte, 0, p.EncodedLen()))
 }
 
 // MustEncode is Encode panicking on error, for statically valid packets.
@@ -180,23 +234,44 @@ func Decode(b []byte) (*Packet, error) {
 // hand the same read buffer to every callback.
 //
 //rmlint:hotpath
-func DecodeInto(p *Packet, b []byte) error {
+func DecodeInto(p *Packet, b []byte) error { return decodeInto(p, b, V2) }
+
+// DecodeIntoV1 is DecodeInto restricted to version-1 frames: a v2 frame is
+// rejected with ErrBadVersion exactly as a pre-renegotiation binary would
+// reject it. Engines that have not opted into adaptive (renegotiating)
+// sessions decode through this entry point, so the legacy wire behaviour
+// is preserved bit for bit and v2 traffic on a shared group is ignored
+// cleanly rather than misparsed.
+//
+//rmlint:hotpath
+func DecodeIntoV1(p *Packet, b []byte) error { return decodeInto(p, b, V1) }
+
+//rmlint:hotpath
+func decodeInto(p *Packet, b []byte, maxVers uint8) error {
 	if len(b) < HeaderLen {
 		return fmt.Errorf("%w: %d bytes", ErrTooShort, len(b))
 	}
 	if b[0] != Magic {
 		return fmt.Errorf("%w: %#x", ErrBadMagic, b[0])
 	}
-	if b[1] != Version {
-		return fmt.Errorf("%w: %d", ErrBadVersion, b[1])
+	vers := b[1]
+	if vers < V1 || vers > maxVers {
+		return fmt.Errorf("%w: %d", ErrBadVersion, vers)
+	}
+	hlen := HeaderLen
+	if vers == V2 {
+		hlen = HeaderLenV2
+		if len(b) < hlen {
+			return fmt.Errorf("%w: %d bytes", ErrTooShort, len(b))
+		}
 	}
 	t := Type(b[2])
 	if t == TypeInvalid || t > TypeFin {
 		return fmt.Errorf("%w: %d", ErrBadType, b[2])
 	}
 	plen := int(binary.BigEndian.Uint16(b[18:]))
-	if len(b) < HeaderLen+plen {
-		return fmt.Errorf("%w: have %d, want %d", ErrTruncated, len(b)-HeaderLen, plen)
+	if len(b) < hlen+plen {
+		return fmt.Errorf("%w: have %d, want %d", ErrTruncated, len(b)-hlen, plen)
 	}
 	p.Type = t
 	p.Session = binary.BigEndian.Uint32(b[4:])
@@ -205,9 +280,18 @@ func DecodeInto(p *Packet, b []byte) error {
 	p.K = binary.BigEndian.Uint16(b[14:])
 	p.Count = binary.BigEndian.Uint16(b[16:])
 	p.Total = binary.BigEndian.Uint32(b[20:])
+	p.Vers = vers
+	p.H = 0
+	p.Codec = 0
+	p.CodecArg = 0
+	if vers == V2 {
+		p.H = binary.BigEndian.Uint16(b[24:])
+		p.Codec = b[26]
+		p.CodecArg = b[27]
+	}
 	p.Payload = nil
 	if plen > 0 {
-		p.Payload = b[HeaderLen : HeaderLen+plen : HeaderLen+plen]
+		p.Payload = b[hlen : hlen+plen : hlen+plen]
 	}
 	return nil
 }

@@ -19,15 +19,17 @@
 #                       scheduler, core engines driven by both, the mcrun
 #                       parallel Monte-Carlo runner, the encode-ahead
 #                       pipeline pool, the row-sharded rse/rse16 parallel
-#                       encode, and the receiver field, whose NAK-schedule
-#                       determinism contract runs under mcrun parallelism)
+#                       encode, the receiver field, whose NAK-schedule
+#                       determinism contract runs under mcrun parallelism,
+#                       and the adaptive FEC controller driven by the core
+#                       engines' pipelined scenario tests)
 #   7. field smoke      one reduced-scale receiver-field transfer — a full
 #                       NP session fronting R = 1e5 simulated receivers
 #                       through one struct-of-arrays field.Field with
 #                       aggregated NAK feedback — reconciled against the
 #                       paper's closed form (the R = 1e6 acceptance run
 #                       stays in the full `go test ./...` tier above)
-#   8. bench smoke      one 1-pass NP loopback drain through cmd/bench
+#   8a. bench smoke     one 1-pass NP loopback drain through cmd/bench
 #                       -np-only, so the end-to-end throughput tiers
 #                       (including the per-core scaling sweep, which skips
 #                       itself with skipped_insufficient_cpus on 1-CPU
@@ -94,13 +96,16 @@ echo '== go test ./...'
 go test ./...
 
 echo '== go test -race -short (concurrent packages)'
-go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/ ./internal/field/
+go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/ ./internal/field/ ./internal/adapt/
 
 echo '== receiver field smoke (R=1e5 full transfer vs closed form, -short)'
 go test -short -count=1 -run 'TestFieldSmokeR100k|TestFieldEMReconciliation' ./internal/field/
 
 echo '== NP loopback bench smoke (cmd/bench -np-only, 1 pass)'
 go run ./cmd/bench -np-only -runs 1 -np-groups 40 -out - > /dev/null
+
+echo '== adaptive FEC smoke (cmd/bench -adapt-scenario: loss-shift convergence)'
+go run ./cmd/bench -adapt-scenario -adapt-out "$tmp/adapt"
 
 echo '== sender transcript determinism (depth 0 x2, pipelined x1, sharded x1)'
 t0a=$(go run ./cmd/bench -transcript -depth 0)
