@@ -18,7 +18,7 @@ lint:
 # Race-detector pass over the packages that own or drive concurrency
 # (rse/rse16 join for the sharded parallel encode).
 race:
-	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/
+	$(GO) test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/ ./internal/rect/ ./internal/field/ ./internal/adapt/
 
 check:
 	sh scripts/check.sh

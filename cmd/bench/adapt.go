@@ -32,6 +32,27 @@ func (s *shiftProcess) Lost(dt float64) bool {
 
 func (s *shiftProcess) Reset() { s.first.Reset(); s.second.Reset() }
 
+// rampProcess raises the Bernoulli loss rate linearly from p0 to p1 over
+// span draws, then holds at p1 — the slow congestion build-up that tests
+// the estimator's tracking rather than its step response.
+type rampProcess struct {
+	p0, p1 float64
+	span   int
+	drawn  int
+	rng    *rand.Rand
+}
+
+func (r *rampProcess) Lost(dt float64) bool {
+	p := r.p1
+	if r.drawn < r.span {
+		p = r.p0 + (r.p1-r.p0)*float64(r.drawn)/float64(r.span)
+		r.drawn++
+	}
+	return r.rng.Float64() < p
+}
+
+func (r *rampProcess) Reset() { r.drawn = 0 }
+
 // adaptScenario is one seeded loss-shift workload with its expected
 // steady-state outcome.
 type adaptScenario struct {
@@ -69,6 +90,31 @@ func adaptScenarios() []adaptScenario {
 					first:     loss.NewBernoulli(0.03, rng),
 					second:    loss.NewMarkov(0.03, 4, 1000, rng),
 					remaining: 1500,
+				}
+			},
+			wantRung: 3,
+		},
+		{
+			name:     "adapt_ramp",
+			describe: "Bernoulli loss ramping 0.5% -> 10% over ~2500 packets; expect the estimator to walk the ladder down to rung 3 without a step change to react to",
+			seed:     1501,
+			bytes:    400000,
+			mkLoss: func(rng *rand.Rand) loss.Process {
+				return &rampProcess{p0: 0.005, p1: 0.10, span: 2500, rng: rng}
+			},
+			wantRung: 3,
+		},
+		{
+			name:     "adapt_star_shift",
+			describe: "star/FBT shared backbone: every receiver draws the identical loss stream (fixed seed), 1% -> 12% after ~800 packets; expect rung 3 even though aggregated NAKs collapse the correlated deficits to one report",
+			seed:     1601,
+			bytes:    350000,
+			mkLoss: func(*rand.Rand) loss.Process {
+				shared := rand.New(rand.NewSource(1602))
+				return &shiftProcess{
+					first:     loss.NewBernoulli(0.01, shared),
+					second:    loss.NewBernoulli(0.12, shared),
+					remaining: 800,
 				}
 			},
 			wantRung: 3,

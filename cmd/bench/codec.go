@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"rmfec/internal/adapt"
+	"rmfec/internal/core"
+	"rmfec/internal/field"
+	"rmfec/internal/loss"
+	"rmfec/internal/packet"
+	"rmfec/internal/simnet"
+)
+
+// portfolioStats is one (k, h) working point of the codec-portfolio tier:
+// full-group encode cost per data packet for the RS incumbent and the
+// XOR rectangular candidate, plus the paired speedup the benchmark gate
+// reasons about. This is the measured form of the gate's CostModel claim:
+// rect encodes a parity in ceil(k/d) XORs against RS's k multiply-adds.
+type portfolioStats struct {
+	K             int     `json:"k"`
+	H             int     `json:"h"`
+	ShardBytes    int     `json:"shard_bytes"`
+	RSEncodeUsPkt float64 `json:"rs_encode_us_pkt"`
+	RectEncodeUs  float64 `json:"rect_encode_us_pkt"`
+	SpeedupVsRS   float64 `json:"rect_speedup_vs_rs"`
+}
+
+// encodeUsPkt measures one codec's full-group encode (h parities from k
+// data shards) and returns microseconds per data packet.
+func encodeUsPkt(c core.Codec, data, parity [][]byte, k int) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := c.EncodeBlocks(data, parity); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if r.N == 0 {
+		return 0
+	}
+	return r.T.Seconds() * 1e6 / float64(r.N) / float64(k)
+}
+
+// codecPortfolioBench measures RS vs rect at the low-h working points the
+// portfolio ladder assigns to the rect codec. Like kernelBench, the
+// speedup is the median of per-pass paired ratios.
+func codecPortfolioBench(runs int) []portfolioStats {
+	var out []portfolioStats
+	for _, wp := range []struct{ k, h int }{{20, 2}, {20, 3}} {
+		fmt.Fprintf(os.Stderr, "bench: measuring codec portfolio k=%d h=%d...\n", wp.k, wp.h)
+		rs, err := core.CodecByID(packet.CodecRS, 0, wp.k, wp.h, shardBytes)
+		if err != nil {
+			fatalBench(err)
+		}
+		rect, err := core.CodecByID(packet.CodecRect, uint8(wp.h), wp.k, wp.h, shardBytes)
+		if err != nil {
+			fatalBench(err)
+		}
+		rng := rand.New(rand.NewSource(17))
+		data := make([][]byte, wp.k)
+		for i := range data {
+			data[i] = make([]byte, shardBytes)
+			rng.Read(data[i])
+		}
+		parity := make([][]byte, wp.h)
+		for i := range parity {
+			parity[i] = make([]byte, shardBytes)
+		}
+
+		st := portfolioStats{K: wp.k, H: wp.h, ShardBytes: shardBytes}
+		var rsUs, rectUs, ratios []float64
+		for i := 0; i < runs; i++ {
+			r := encodeUsPkt(rs, data, parity, wp.k)
+			x := encodeUsPkt(rect, data, parity, wp.k)
+			rsUs = append(rsUs, r)
+			rectUs = append(rectUs, x)
+			if x > 0 {
+				ratios = append(ratios, r/x)
+			}
+		}
+		st.RSEncodeUsPkt = median(rsUs)
+		st.RectEncodeUs = median(rectUs)
+		st.SpeedupVsRS = median(ratios)
+		out = append(out, st)
+	}
+	return out
+}
+
+// ncRepairStats compares the repair traffic of one scattered-loss field
+// scenario served with network-coded retransmission against the same
+// scenario served by the parity budget and the exhaustion carousel.
+// Repair packets are everything beyond the original data stream:
+// re-sent originals, parities and NCREPAIR combos.
+type ncRepairStats struct {
+	R              int     `json:"r"`
+	P              float64 `json:"p"`
+	K              int     `json:"k"`
+	H              int     `json:"h"`
+	NcRepairPkts   int     `json:"nc_repair_pkts"`
+	NcRounds       int     `json:"nc_rounds"`
+	BaseRepairPkts int     `json:"parity_carousel_repair_pkts"`
+	RepairRatio    float64 `json:"nc_vs_carousel_ratio"`
+}
+
+// ncScatterRun drives one adaptive NP sender against a field-emulated
+// population under Bernoulli loss whose per-group deficits overflow the
+// tiny parity budget (h=2), and returns the sender's repair-packet count.
+func ncScatterRun(nc bool) (repairs int, st core.SenderStats) {
+	ac := adapt.DefaultConfig()
+	ac.Ladder = []adapt.Rung{{PMax: 1, P: adapt.Params{K: 8, H: 2, A: 0}}}
+	pcfg := core.Config{
+		Session: 33, ShardSize: 64,
+		AdaptiveFEC: true, Adapt: ac,
+		NCRepair: nc,
+	}
+
+	sched := simnet.NewScheduler()
+	sched.MaxEvents = 100_000_000
+	net := simnet.NewNetwork(sched, rand.New(rand.NewSource(811)))
+	senderNode := net.AddNode(simnet.NodeConfig{Delay: 2 * time.Millisecond})
+	sender, err := core.NewSender(senderNode, pcfg)
+	if err != nil {
+		fatalBench(err)
+	}
+	senderNode.SetHandler(sender.HandlePacket)
+
+	fieldNode := net.AddNode(simnet.NodeConfig{Delay: 2 * time.Millisecond})
+	pop := loss.NewBernoulliPopulation(ncFieldR, ncFieldP, rand.New(rand.NewSource(813)))
+	f, err := field.New(fieldNode, field.Config{Protocol: pcfg, Population: pop, Seed: 814})
+	if err != nil {
+		fatalBench(err)
+	}
+	fieldNode.SetHandler(f.HandlePacket)
+
+	msg := make([]byte, 8*64*120)
+	rand.New(rand.NewSource(812)).Read(msg)
+	if err := sender.Send(msg); err != nil {
+		fatalBench(err)
+	}
+	sched.Run()
+	if !f.Complete() {
+		fatalBench(fmt.Errorf("nc scatter scenario (nc=%v) did not complete", nc))
+	}
+	st = sender.Stats()
+	return (st.DataTx - sender.SourcePackets()) + st.ParityTx + st.NcTx, st
+}
+
+// ncRepairBench runs the scattered-loss scenario with and without NC.
+func ncRepairBench() ncRepairStats {
+	fmt.Fprintln(os.Stderr, "bench: measuring NC retransmission vs parity carousel...")
+	st := ncRepairStats{R: ncFieldR, P: ncFieldP, K: 8, H: 2}
+	var ncSt core.SenderStats
+	st.NcRepairPkts, ncSt = ncScatterRun(true)
+	st.NcRounds = ncSt.NcRounds
+	st.BaseRepairPkts, _ = ncScatterRun(false)
+	if st.BaseRepairPkts > 0 {
+		st.RepairRatio = float64(st.NcRepairPkts) / float64(st.BaseRepairPkts)
+	}
+	return st
+}
+
+// NC scenario population: small enough to finish in milliseconds, lossy
+// enough (p ≈ 0.15 per receiver against h = 2) that round deficits
+// routinely exceed the parity budget.
+const (
+	ncFieldR = 60
+	ncFieldP = 0.15
+)

@@ -1,5 +1,5 @@
 // Command bench runs the repository's performance gate and emits a
-// machine-readable snapshot (BENCH_PR8.json) for the perf trajectory:
+// machine-readable snapshot (BENCH_PR10.json) for the perf trajectory:
 // GF(2^8) kernel throughput against the retained scalar reference,
 // encode/decode packet rates of the RSE coder at the paper's k=7,h=7 and
 // k=20,h=5 operating points, Monte-Carlo engine sample rates (sparse
@@ -12,15 +12,21 @@
 // with a skipped_insufficient_cpus marker on single-CPU hosts, where
 // every point would multiplex one core into a misleading ~1.0x curve),
 // measured syscalls/pkt on a real multicast socket (sendmmsg batch path
-// vs per-frame write) — and, new in PR 8, the receiver-field tier
-// (field.go): full NP transfers fronting R = 1e4..1e6 simulated
-// receivers through one struct-of-arrays field.Field with aggregated NAK
-// feedback, in receivers per second of wall-clock against a
-// per-instance core.Receiver baseline.
+// vs per-frame write) — the PR-8 receiver-field tier (field.go): full NP
+// transfers fronting R = 1e4..1e6 simulated receivers through one
+// struct-of-arrays field.Field with aggregated NAK feedback, in
+// receivers per second of wall-clock against a per-instance
+// core.Receiver baseline — and, new in PR 10, the codec-portfolio tier
+// (codec.go): full-group encode µs/pkt of the XOR rectangular codec
+// against the Reed-Solomon incumbent at the ladder's low-h working
+// points, plus the repair-packet count of one scattered-loss field
+// scenario served by network-coded retransmission vs the parity budget
+// and exhaustion carousel.
 //
-//	go run ./cmd/bench                    # writes BENCH_PR8.json
+//	go run ./cmd/bench                    # writes BENCH_PR10.json
 //	go run ./cmd/bench -out - -runs 3     # quick run to stdout
 //	go run ./cmd/bench -np-only -runs 1   # NP loopback smoke (check.sh)
+//	go run ./cmd/bench -codec-only -runs 1 -out -   # codec-portfolio smoke
 //	go run ./cmd/bench -transcript -depth 0   # sender transcript hash
 //	go run ./cmd/bench -transcript -depth 8 -shards 4   # sharded hash
 //	go run ./cmd/bench -np-only -cpuprofile np.pprof    # profile NP tiers
@@ -81,24 +87,26 @@ type simStats struct {
 }
 
 type snapshot struct {
-	PR                  int            `json:"pr"`
-	Timestamp           string         `json:"timestamp"`
-	GoVersion           string         `json:"go_version"`
-	GOOS                string         `json:"goos"`
-	GOARCH              string         `json:"goarch"`
-	HostCPUs            int            `json:"host_cpus"`
-	ShardBytes          int            `json:"shard_bytes"`
-	Runs                int            `json:"runs"`
-	Kernels             kernelStats    `json:"kernels,omitempty"`
-	Codec               []codecStats   `json:"codec,omitempty"`
-	Sim                 []simStats     `json:"sim,omitempty"`
-	NP                  []npStats      `json:"np"`
-	NPScaling           []scalingStats `json:"np_scaling"`
-	NPScalingSkipped    string         `json:"np_scaling_skipped,omitempty"`
-	NPSyscalls          *sysStats      `json:"np_syscalls,omitempty"`
-	NPField             []fieldStats   `json:"np_field,omitempty"`
-	FiguresQuickSeconds float64        `json:"figures_quick_seconds,omitempty"`
-	FiguresQuickSamples int            `json:"figures_quick_samples,omitempty"`
+	PR                  int              `json:"pr"`
+	Timestamp           string           `json:"timestamp"`
+	GoVersion           string           `json:"go_version"`
+	GOOS                string           `json:"goos"`
+	GOARCH              string           `json:"goarch"`
+	HostCPUs            int              `json:"host_cpus"`
+	ShardBytes          int              `json:"shard_bytes"`
+	Runs                int              `json:"runs"`
+	Kernels             kernelStats      `json:"kernels,omitempty"`
+	Codec               []codecStats     `json:"codec,omitempty"`
+	Sim                 []simStats       `json:"sim,omitempty"`
+	NP                  []npStats        `json:"np"`
+	NPScaling           []scalingStats   `json:"np_scaling"`
+	NPScalingSkipped    string           `json:"np_scaling_skipped,omitempty"`
+	NPSyscalls          *sysStats        `json:"np_syscalls,omitempty"`
+	NPField             []fieldStats     `json:"np_field,omitempty"`
+	CodecPortfolio      []portfolioStats `json:"codec_portfolio,omitempty"`
+	NcRepair            *ncRepairStats   `json:"nc_repair,omitempty"`
+	FiguresQuickSeconds float64          `json:"figures_quick_seconds,omitempty"`
+	FiguresQuickSamples int              `json:"figures_quick_samples,omitempty"`
 }
 
 // medianRate runs fn under testing.Benchmark `runs` times and returns the
@@ -328,11 +336,12 @@ func figuresQuickBench() (seconds float64, samples int) {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_PR8.json", "output path, or - for stdout")
+		out        = flag.String("out", "BENCH_PR10.json", "output path, or - for stdout")
 		runs       = flag.Int("runs", 5, "benchmark passes per metric (median wins)")
 		showMet    = flag.Bool("metrics", false, "print an end-of-run metrics snapshot (Prometheus text) to stderr")
 		npGroups   = flag.Int("np-groups", 600, "transmission groups per NP loopback drain")
 		npOnly     = flag.Bool("np-only", false, "run only the NP loopback tiers (check.sh smoke)")
+		codecOnly  = flag.Bool("codec-only", false, "run only the codec-portfolio and NC-repair tiers (check.sh smoke)")
 		transcript = flag.Bool("transcript", false, "print the sender transcript hash of a fixed transfer and exit")
 		adaptFEC   = flag.Bool("adaptive-fec", false, "add an NP loopback scenario draining through the adaptive FEC control plane (wire v2)")
 		adaptScen  = flag.Bool("adapt-scenario", false, "run the adaptive loss-shift scenarios, write convergence TSVs and exit (check.sh smoke)")
@@ -373,7 +382,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		PR:         8,
+		PR:         10,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -382,7 +391,7 @@ func main() {
 		ShardBytes: shardBytes,
 		Runs:       *runs,
 	}
-	if !*npOnly {
+	if !*npOnly && !*codecOnly {
 		fmt.Fprintln(os.Stderr, "bench: measuring GF(2^8) kernels...")
 		snap.Kernels = kernelBench(*runs)
 		for _, p := range []struct{ k, h int }{{7, 7}, {20, 5}} {
@@ -391,13 +400,20 @@ func main() {
 		}
 		snap.Sim = simBench(*runs)
 	}
-	snap.NP = npBench(*runs, *npGroups)
-	if *adaptFEC {
-		snap.NP = append(snap.NP, adaptiveNPBench(*runs, *npGroups))
+	if !*codecOnly {
+		snap.NP = npBench(*runs, *npGroups)
+		if *adaptFEC {
+			snap.NP = append(snap.NP, adaptiveNPBench(*runs, *npGroups))
+		}
+		snap.NPScaling, snap.NPScalingSkipped = scalingBench(*runs, *npGroups)
+		snap.NPSyscalls = syscallBench()
 	}
-	snap.NPScaling, snap.NPScalingSkipped = scalingBench(*runs, *npGroups)
-	snap.NPSyscalls = syscallBench()
 	if !*npOnly {
+		snap.CodecPortfolio = codecPortfolioBench(*runs)
+		nc := ncRepairBench()
+		snap.NcRepair = &nc
+	}
+	if !*npOnly && !*codecOnly {
 		snap.NPField = fieldBench(*runs)
 		fmt.Fprintln(os.Stderr, "bench: timing figures -fig all -quick...")
 		snap.FiguresQuickSeconds, snap.FiguresQuickSamples = figuresQuickBench()
@@ -453,6 +469,12 @@ func main() {
 		if fs.SpeedupVsInstances > 0 {
 			npSummary += fmt.Sprintf(" (%.0fx vs instances)", fs.SpeedupVsInstances)
 		}
+	}
+	for _, ps := range snap.CodecPortfolio {
+		npSummary += fmt.Sprintf(", rect k=%d h=%d %.1fx rs", ps.K, ps.H, ps.SpeedupVsRS)
+	}
+	if snap.NcRepair != nil {
+		npSummary += fmt.Sprintf(", nc %d vs carousel %d repairs", snap.NcRepair.NcRepairPkts, snap.NcRepair.BaseRepairPkts)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (muladd %.2fx scalar, xor %.2fx%s%s, figures-quick %.1fs)\n",
 		*out, snap.Kernels.MulAddSpeedup, snap.Kernels.XorSpeedup, simSummary, npSummary, snap.FiguresQuickSeconds)

@@ -75,6 +75,15 @@ type Params struct {
 	K int // data shards per transmission group
 	H int // parity shards encodable for the group (repair budget)
 	A int // parities multicast proactively in the first round (0 ≤ A ≤ H)
+
+	// Codec and CodecArg name the repair code of the rung using the v2
+	// wire identifiers (packet.CodecRS / packet.CodecRect): 0/0 is
+	// Reed-Solomon, 1/d the interleaved XOR rectangular code with d
+	// classes (d must equal H). The sender's benchmark gate may still
+	// veto a non-RS codec at runtime; the rung then falls back to RS at
+	// the same (k, h, a).
+	Codec    uint8
+	CodecArg uint8
 }
 
 // Rung is one step of the loss→(k,h) ladder: the working point used while
@@ -97,6 +106,27 @@ var DefaultLadder = []Rung{
 	{PMax: 0.12, P: Params{K: 12, H: 10, A: 3}},
 	{PMax: 0.28, P: Params{K: 8, H: 12, A: 6}},
 	{PMax: 1.0, P: Params{K: 4, H: 12, A: 8}},
+}
+
+// PortfolioLadder is DefaultLadder with the codec portfolio enabled: the
+// low-loss rungs select the XOR-only rectangular code (codec id 1, arg =
+// d = H), where scattered sub-percent loss rarely puts two erasures in
+// one interleave class and the near-zero encode CPU dominates; deeper
+// rungs keep Reed-Solomon, whose MDS repair power is worth its GF
+// arithmetic once losses cluster. Working points (k, h, a) match
+// DefaultLadder rung for rung, so the parity budget and schedule shape
+// are unchanged — only the code, and therefore the per-group recovery
+// rule, differs.
+func PortfolioLadder() []Rung {
+	l := make([]Rung, len(DefaultLadder))
+	copy(l, DefaultLadder)
+	for i := range l {
+		if i < 2 { // rungs covering p̂ ≤ 1%
+			l[i].P.Codec = 1
+			l[i].P.CodecArg = uint8(l[i].P.H)
+		}
+	}
+	return l
 }
 
 // Config parameterizes a Controller. The zero value is not usable; start
@@ -189,6 +219,21 @@ func (cfg Config) Validate() error {
 		}
 		if r.P.A < 0 || r.P.A > r.P.H {
 			return fmt.Errorf("%w: ladder rung %d has a=%d outside [0,h=%d]", ErrConfig, i, r.P.A, r.P.H)
+		}
+		switch r.P.Codec {
+		case 0: // Reed-Solomon
+			if r.P.CodecArg != 0 {
+				return fmt.Errorf("%w: ladder rung %d RS codec arg %d != 0", ErrConfig, i, r.P.CodecArg)
+			}
+		case 1: // rectangular: arg is the class count d, which must be h
+			if int(r.P.CodecArg) != r.P.H {
+				return fmt.Errorf("%w: ladder rung %d rect codec arg %d != h %d", ErrConfig, i, r.P.CodecArg, r.P.H)
+			}
+			if r.P.K+r.P.H > 64 {
+				return fmt.Errorf("%w: ladder rung %d rect codec needs k+h <= 64, got %d", ErrConfig, i, r.P.K+r.P.H)
+			}
+		default:
+			return fmt.Errorf("%w: ladder rung %d unknown codec id %d", ErrConfig, i, r.P.Codec)
 		}
 	}
 	if last := cfg.Ladder[len(cfg.Ladder)-1].PMax; last < 1 {

@@ -2,17 +2,26 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"rmfec/internal/metrics"
+	"rmfec/internal/packet"
+	"rmfec/internal/rect"
 	"rmfec/internal/rse"
 	"rmfec/internal/rse16"
 )
 
-// erasureCodec abstracts the two Reed-Solomon backends so the protocol
-// engines can serve both interactive group sizes (GF(2^8), K <= 254) and
-// the very large transmission groups Section 4.2 recommends against burst
-// loss (GF(2^16), K up to rse16.MaxK; even shard sizes).
-type erasureCodec interface {
+// Codec is the repair-code abstraction the protocol engines encode and
+// decode transmission groups through. Three backends register behind it:
+// Reed-Solomon over GF(2^8) (interactive group sizes, K <= 254),
+// Reed-Solomon over GF(2^16) (the very large groups Section 4.2
+// recommends against burst loss), and the XOR-only interleaved
+// rectangular code of internal/rect for low-loss paths. The wire
+// identity (ID) and the relative cost model (CostModel) let the adaptive
+// control plane negotiate codecs per transmission group through the v2
+// header's codec id/arg byte, gated by measured encode cost (see
+// codecGate).
+type Codec interface {
 	// EncodeParity returns parity shard j computed from the k data shards.
 	EncodeParity(j int, data [][]byte) ([]byte, error)
 	// EncodeBlocks batch-encodes nb consecutive FEC blocks: data holds
@@ -29,6 +38,21 @@ type erasureCodec interface {
 	// Reconstruct rebuilds missing data shards in place; shards has
 	// length k+h with nil marking losses.
 	Reconstruct(shards [][]byte) error
+	// ShortfallBits returns the number of repair packets still needed to
+	// complete a group given the present-shard bitmap have (bit i set
+	// when shard i of the k+h is held). Only meaningful when k+h <= 64;
+	// for MDS codes it is max(0, k - popcount(have)), for rectangular
+	// codes the per-class deficit. This is the codec-aware deficit rule
+	// receivers and the field report through NAK Count.
+	ShortfallBits(have uint64) int
+	// ID returns the codec's wire identity: the (codec, codec arg) byte
+	// pair carried by every v2 TG header (see packet.CodecRS and friends).
+	ID() (id, arg uint8)
+	// CostModel returns the codec's modelled encode cost per parity byte
+	// in XOR-word-op equivalents: a plain XOR counts 1, a GF(2^8)
+	// multiply-add ~4 (SPLIT table lookups), a GF(2^16) multiply-add ~8.
+	// The benchmark gate measures real cost before trusting the model.
+	CostModel() float64
 }
 
 type gf8Codec struct{ c *rse.Code }
@@ -41,6 +65,9 @@ func (g gf8Codec) EncodeBlocksShard(data, parity [][]byte, shard, nshards int) e
 	return g.c.EncodeBlocksShard(data, parity, shard, nshards)
 }
 func (g gf8Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
+func (g gf8Codec) ShortfallBits(have uint64) int     { return mdsShortfall(g.c.K(), g.c.N(), have) }
+func (g gf8Codec) ID() (uint8, uint8)                { return packet.CodecRS, 0 }
+func (g gf8Codec) CostModel() float64                { return 4 * float64(g.c.K()) }
 
 type gf16Codec struct{ c *rse16.Code }
 
@@ -52,20 +79,61 @@ func (g gf16Codec) EncodeBlocksShard(data, parity [][]byte, shard, nshards int) 
 	return g.c.EncodeBlocksShard(data, parity, shard, nshards)
 }
 func (g gf16Codec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
+func (g gf16Codec) ShortfallBits(have uint64) int     { return mdsShortfall(g.c.K(), g.c.N(), have) }
+func (g gf16Codec) ID() (uint8, uint8)                { return packet.CodecRS, 0 }
+func (g gf16Codec) CostModel() float64                { return 8 * float64(g.c.K()) }
+
+type rectCodec struct{ c *rect.Code }
+
+func (g rectCodec) EncodeParity(j int, data [][]byte) ([]byte, error) {
+	return g.c.EncodeParity(j, data, nil)
+}
+func (g rectCodec) EncodeBlocks(data, parity [][]byte) error { return g.c.EncodeBlocks(data, parity) }
+func (g rectCodec) EncodeBlocksShard(data, parity [][]byte, shard, nshards int) error {
+	return g.c.EncodeBlocksShard(data, parity, shard, nshards)
+}
+func (g rectCodec) Reconstruct(shards [][]byte) error { return g.c.Reconstruct(shards) }
+func (g rectCodec) ShortfallBits(have uint64) int     { return g.c.ShortfallBits(have) }
+func (g rectCodec) ID() (uint8, uint8)                { return packet.CodecRect, uint8(g.c.D()) }
+func (g rectCodec) CostModel() float64 {
+	return float64((g.c.K() + g.c.D() - 1) / g.c.D())
+}
+
+// mdsShortfall is the MDS deficit rule: any k of the n shards complete
+// the group, so the shortfall is k minus the shards held.
+func mdsShortfall(k, n int, have uint64) int {
+	held := bits.OnesCount64(have & (1<<uint(n) - 1))
+	if held >= k {
+		return 0
+	}
+	return k - held
+}
+
+// codecZeroFill reports whether the backend's Reconstruct expects missing
+// shards as zero-length slices with spare capacity (the recycling
+// contract of rse and rect) rather than nil.
+func codecZeroFill(c Codec) bool {
+	switch c.(type) {
+	case gf8Codec, rectCodec:
+		return true
+	default:
+		return false
+	}
+}
 
 // newCodec selects the backend for the configuration: GF(2^8) whenever the
 // block fits in 255 packets, GF(2^16) beyond that. When the config carries
 // a metrics registry, the GF(2^8) codec's rse_* instruments (symbol
 // throughput, inversion-cache hit rate) are registered on it.
-func newCodec(cfg Config) (erasureCodec, error) {
+func newCodec(cfg Config) (Codec, error) {
 	return newCodecKH(cfg.K, cfg.MaxParity, cfg.ShardSize, cfg.Metrics)
 }
 
-// newCodecKH builds a codec for an explicit (k, h) working point, with the
-// same backend selection rule as newCodec. Instrument registration is
-// idempotent per registry, so every GF(2^8) instance of a session shares
-// the rse_* counters.
-func newCodecKH(k, h, shardSize int, reg *metrics.Registry) (erasureCodec, error) {
+// newCodecKH builds a Reed-Solomon codec for an explicit (k, h) working
+// point, with the same backend selection rule as newCodec. Instrument
+// registration is idempotent per registry, so every GF(2^8) instance of a
+// session shares the rse_* counters.
+func newCodecKH(k, h, shardSize int, reg *metrics.Registry) (Codec, error) {
 	if k+h <= 255 {
 		c, err := rse.New(k, h)
 		if err != nil {
@@ -85,27 +153,61 @@ func newCodecKH(k, h, shardSize int, reg *metrics.Registry) (erasureCodec, error
 	return gf16Codec{c}, nil
 }
 
-// codecCache lazily builds and memoizes per-(k, h) codecs for adaptive
-// sessions, where the working point changes between transmission groups.
+// newCodecID builds the codec named by a v2 wire (codec id, codec arg)
+// pair at working point (k, h). Id 0 is Reed-Solomon with arg 0 and the
+// field chosen by k+h; id 1 is the interleaved XOR rectangular code,
+// whose arg carries the class count d and must equal h.
+func newCodecID(id, arg uint8, k, h, shardSize int, reg *metrics.Registry) (Codec, error) {
+	switch id {
+	case packet.CodecRS:
+		if arg != 0 {
+			return nil, fmt.Errorf("core: RS codec arg must be 0, got %d", arg)
+		}
+		return newCodecKH(k, h, shardSize, reg)
+	case packet.CodecRect:
+		if int(arg) != h {
+			return nil, fmt.Errorf("core: rect codec arg %d must equal h %d", arg, h)
+		}
+		c, err := rect.New(k, h)
+		if err != nil {
+			return nil, err
+		}
+		return rectCodec{c}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown codec id %d", id)
+	}
+}
+
+// CodecByID builds the codec named by a v2 wire (codec id, codec arg)
+// pair at working point (k, h), without instrument registration. It is
+// the exported constructor companion engines (internal/field) use to
+// honour per-group codec negotiation outside a core engine.
+func CodecByID(id, arg uint8, k, h, shardSize int) (Codec, error) {
+	return newCodecID(id, arg, k, h, shardSize, nil)
+}
+
+// codecCache lazily builds and memoizes per-(k, h, codec) codecs for
+// adaptive sessions, where the working point — and since the codec
+// portfolio, the code itself — changes between transmission groups.
 // Ladder rungs are few, so the cache stays tiny; lookups happen on the
 // engine goroutine only.
 type codecCache struct {
-	m         map[uint32]erasureCodec
+	m         map[uint64]Codec
 	shardSize int
 	reg       *metrics.Registry
 }
 
 func newCodecCache(shardSize int, reg *metrics.Registry) codecCache {
-	return codecCache{m: make(map[uint32]erasureCodec), shardSize: shardSize, reg: reg}
+	return codecCache{m: make(map[uint64]Codec), shardSize: shardSize, reg: reg}
 }
 
-func (cc *codecCache) get(k, h int) (erasureCodec, error) {
-	key := uint32(k)<<16 | uint32(h)
+func (cc *codecCache) get(k, h int, id, arg uint8) (Codec, error) {
+	key := uint64(k)<<32 | uint64(h)<<16 | uint64(id)<<8 | uint64(arg)
 	if c, ok := cc.m[key]; ok {
 		return c, nil
 	}
 	//rmlint:ignore hotpath-alloc codec construction is memoized per ladder rung; steady state hits the map
-	c, err := newCodecKH(k, h, cc.shardSize, cc.reg)
+	c, err := newCodecID(id, arg, k, h, cc.shardSize, cc.reg)
 	if err != nil {
 		return nil, err
 	}

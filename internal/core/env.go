@@ -142,6 +142,20 @@ type Config struct {
 	// adapt.DefaultConfig(). Sender and receivers must agree on the
 	// ladder's maximum K and H (receivers bound per-group state by them).
 	Adapt adapt.Config
+	// CodecGate selects how the sender vets a non-default codec a ladder
+	// rung requests: GateMeasure (default) admits it only when its
+	// measured encode cost beats Reed-Solomon at the same working point,
+	// GateForce admits unconditionally (deterministic across hosts) and
+	// GateOff pins every era to RS. Only consulted when AdaptiveFEC is
+	// on and a rung names a codec other than RS.
+	CodecGate int
+	// NCRepair enables network-coded retransmission (Qureshi et al.):
+	// v2 NAKs carry the receiver's missing-data bitmap when the group
+	// fits 64 shards, and the sender answers a repair round whose parity
+	// budget is exhausted with XOR combinations of the specific lost
+	// packets (NCREPAIR frames) instead of blind rotating resends. Both
+	// endpoints must enable it; requires AdaptiveFEC (the v2 wire).
+	NCRepair bool
 	// ObserveLag is how many transmission groups the sender waits before
 	// closing a group's loss observation: group g's worst first-round NAK
 	// deficit is sampled when group g+ObserveLag is cut, giving feedback
@@ -292,6 +306,12 @@ func (c *Config) Validate() error {
 		if c.ObserveLag < 1 {
 			return fmt.Errorf("core: ObserveLag = %d, need >= 1", c.ObserveLag)
 		}
+	}
+	if c.CodecGate < GateMeasure || c.CodecGate > GateOff {
+		return fmt.Errorf("core: CodecGate = %d, need %d..%d", c.CodecGate, GateMeasure, GateOff)
+	}
+	if c.NCRepair && !c.AdaptiveFEC {
+		return fmt.Errorf("core: NCRepair requires AdaptiveFEC (the v2 wire)")
 	}
 	return nil
 }

@@ -54,6 +54,14 @@ type senderMetrics struct {
 	batchPkts  *metrics.Histogram // data-plane frames per transmitted batch
 	shardJobs  *metrics.Counter   // sharded encode jobs executed on the pool
 	shardWidth *metrics.Gauge     // configured EncodeShards of the live transfer
+
+	// Codec-portfolio instruments (np_codec_*): benchmark-gate verdicts
+	// per era and the NC retransmission path's activity.
+	gateAdmit  *metrics.Counter // non-RS codec admitted by measurement
+	gateReject *metrics.Counter // candidate rejected (measured slower, GateOff, or unbuildable)
+	gateForced *metrics.Counter // candidate admitted unmeasured (GateForce)
+	ncTx       *metrics.Counter // NCREPAIR packets transmitted
+	ncRounds   *metrics.Counter // repair rounds served with NC combos
 }
 
 // batchBuckets bounds the np_pipeline_batch_packets histogram: powers of
@@ -115,6 +123,13 @@ func newSenderMetrics(r *metrics.Registry, k int) senderMetrics {
 			"row-sharded encode jobs executed on the worker pool (EncodeShards per TG)"),
 		shardWidth: r.Gauge("np_pipeline_encode_shard_width",
 			"EncodeShards of the transfer in flight: parity-row shards per encode-ahead TG"),
+		gateAdmit:  gate(r, "admit"),
+		gateReject: gate(r, "reject"),
+		gateForced: gate(r, "force"),
+		ncTx: r.Counter("np_codec_nc_tx_packets_total",
+			"network-coded repair (NCREPAIR) packets multicast by the sender"),
+		ncRounds: r.Counter("np_codec_nc_rounds_total",
+			"repair rounds served with NC combinations instead of parities/resends"),
 	}
 }
 
@@ -122,6 +137,13 @@ func newSenderMetrics(r *metrics.Registry, k int) senderMetrics {
 func encAhead(r *metrics.Registry, result string) *metrics.Counter {
 	return r.Counter("np_pipeline_encode_ahead_total",
 		"encode-ahead collections by outcome: hit = parities ready when needed, miss = engine blocked on the pool",
+		metrics.Label{Key: "result", Value: result})
+}
+
+// gate registers one result arm of the codec-gate counter.
+func gate(r *metrics.Registry, result string) *metrics.Counter {
+	return r.Counter("np_codec_gate_total",
+		"benchmark-gate verdicts on non-RS codec candidates, by outcome: admit (measured faster), reject (slower/off/unbuildable), force (admitted unmeasured)",
 		metrics.Label{Key: "result", Value: result})
 }
 
@@ -138,6 +160,12 @@ type receiverMetrics struct {
 	groupsDone *metrics.Counter
 	deliveries *metrics.Counter
 	recovery   *metrics.Histogram
+
+	// NC retransmission instruments (np_codec_*): what arriving NCREPAIR
+	// combos did for this receiver.
+	ncRepair   *metrics.Counter // combo XOR-decoded into a missing data shard
+	ncDup      *metrics.Counter // combo carried only packets already held
+	ncUnusable *metrics.Counter // combo covered 2+ missing packets; undecodable here
 }
 
 // newReceiverMetrics registers the receiver instrument set on r; a nil r
@@ -173,5 +201,15 @@ func newReceiverMetrics(r *metrics.Registry) receiverMetrics {
 		recovery: r.Histogram("np_receiver_recovery_seconds",
 			"per-TG recovery latency: first shard received to TG decodable",
 			recoveryBuckets),
+		ncRepair:   ncRx(r, "repair"),
+		ncDup:      ncRx(r, "dup"),
+		ncUnusable: ncRx(r, "unusable"),
 	}
+}
+
+// ncRx registers one result arm of the receiver's NCREPAIR counter.
+func ncRx(r *metrics.Registry, result string) *metrics.Counter {
+	return r.Counter("np_codec_nc_rx_total",
+		"NCREPAIR combos processed by the receiver, by outcome: repair (one missing member recovered), dup (no missing members), unusable (2+ missing members)",
+		metrics.Label{Key: "result", Value: result})
 }

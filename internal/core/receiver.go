@@ -2,8 +2,10 @@ package core
 
 import (
 	"encoding/binary"
+	"math/bits"
 	"time"
 
+	"rmfec/internal/gf256"
 	"rmfec/internal/metrics"
 	"rmfec/internal/packet"
 )
@@ -17,6 +19,8 @@ type ReceiverStats struct {
 	NakTx      int // NAKs multicast
 	NakSupp    int // NAK timers damped by another receiver's NAK
 	PollRx     int // POLLs seen
+	NcRx       int // NCREPAIR combos processed
+	NcRepaired int // combos that recovered a missing data shard
 	Reassembly int // 1 once the message was delivered
 
 	// Group recovery latency: time from a group's first received shard to
@@ -50,7 +54,7 @@ func (st ReceiverStats) MeanLatency() time.Duration {
 type Receiver struct {
 	env  Env
 	cfg  Config
-	code erasureCodec
+	code Codec
 
 	groups   map[uint32]*rxGroup
 	totalTG  int    // -1 until learned from a packet
@@ -98,6 +102,20 @@ type rxGroup struct {
 	nakArmed   bool
 	heardNak   int // largest deficit heard from another receiver this round
 	retryCount int
+
+	// Codec identity from the group's v2 headers (0/0 = RS, incl. every
+	// v1 group); codecSet marks it adopted from the first shard, after
+	// which conflicting frames are ignored. code is non-nil only for
+	// non-MDS codecs (rect), whose completion/deficit rule needs the
+	// shard bitmap instead of the plain count.
+	codecID  uint8
+	codecArg uint8
+	codecSet bool
+	code     Codec
+
+	// haveBits tracks present shards i < 64 (complete for any group with
+	// k+h <= 64): the rect completion rule and the NC loss maps read it.
+	haveBits uint64
 }
 
 // NewReceiver creates an NP receiver. cfg must agree with the sender's on
@@ -111,10 +129,10 @@ func NewReceiver(env Env, cfg Config) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Only the GF(2^8) codec honours the zero-length-with-capacity
+	// Only the GF(2^8) and rect codecs honour the zero-length-with-capacity
 	// Reconstruct contract; GF(2^16) groups mark losses with nil and let
 	// the codec allocate.
-	_, zeroFill := code.(gf8Codec)
+	zeroFill := codecZeroFill(code)
 	r := &Receiver{
 		env:        env,
 		cfg:        cfg,
@@ -246,6 +264,8 @@ func (r *Receiver) HandlePacket(wire []byte) {
 		r.onPoll(&pkt)
 	case packet.TypeNak:
 		r.onNak(&pkt)
+	case packet.TypeNcRepair:
+		r.onNcRepair(&pkt)
 	case packet.TypeFin:
 		r.onFin(&pkt)
 	}
@@ -307,6 +327,9 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 	} else if g.k != k {
 		return // conflicting parameters for the same group
 	}
+	if !r.adoptCodec(g, pkt, k, h) {
+		return
+	}
 	idx := int(pkt.Seq)
 	if idx >= len(g.shards) || idx >= k+h || len(pkt.Payload) != r.cfg.ShardSize {
 		return
@@ -321,6 +344,9 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 	copy(shard, pkt.Payload)
 	g.shards[idx] = shard
 	g.have++
+	if idx < 64 {
+		g.haveBits |= 1 << uint(idx)
+	}
 	if !g.sawShard {
 		g.sawShard = true
 		g.firstAt = r.env.Now()
@@ -332,25 +358,72 @@ func (r *Receiver) onShard(pkt *packet.Packet) {
 		r.stats.ParityRx++
 		r.m.parityRx.Inc()
 	}
-	if g.have >= g.k {
+	if r.groupComplete(g) {
 		r.finishGroup(pkt.Group, g)
 	}
 	r.maybeComplete()
 }
 
+// adoptCodec validates a TG-scoped frame's codec identity and fixes it on
+// the group at first contact. Unknown codec ids, malformed (id, arg)
+// pairs, and frames conflicting with the group's adopted codec are all
+// rejected (return false) — a hostile or corrupt header must not flip a
+// group's recovery rule mid-flight. v1 frames carry no codec bytes and
+// decode as (0, 0) = RS, so static sessions take the first branch
+// unchanged.
+//
+//rmlint:hotpath
+func (r *Receiver) adoptCodec(g *rxGroup, pkt *packet.Packet, k, h int) bool {
+	id, arg := pkt.Codec, pkt.CodecArg
+	if g.codecSet {
+		return g.codecID == id && g.codecArg == arg
+	}
+	switch id {
+	case packet.CodecRS:
+		if arg != 0 {
+			return false
+		}
+	case packet.CodecRect:
+		if int(arg) != h || k+h > 64 {
+			return false
+		}
+		c, _ := r.codecKH(k, h, id, arg)
+		if c == nil {
+			return false
+		}
+		g.code = c
+	default:
+		return false
+	}
+	g.codecID, g.codecArg, g.codecSet = id, arg, true
+	return true
+}
+
+// groupComplete is the codec-aware completion rule: MDS codes finish on
+// any k shards; non-MDS codes (rect) finish when the shard bitmap shows
+// no remaining per-class shortfall.
+//
+//rmlint:hotpath
+func (r *Receiver) groupComplete(g *rxGroup) bool {
+	if g.code != nil {
+		return g.code.ShortfallBits(g.haveBits) == 0
+	}
+	return g.have >= g.k
+}
+
 // codecKH returns the codec (and its zero-fill contract) for a group's
-// (k, h): the static instance when it matches the config, else a cached
-// per-rung codec. A nil codec means the combination is unserviceable.
-func (r *Receiver) codecKH(k, h int) (erasureCodec, bool) {
-	if k == r.cfg.K && h == r.cfg.MaxParity {
+// (k, h, codec id, codec arg): the static instance when everything
+// matches the config, else a cached per-(rung, codec) instance. A nil
+// codec means the combination is unserviceable.
+func (r *Receiver) codecKH(k, h int, id, arg uint8) (Codec, bool) {
+	if id == packet.CodecRS && arg == 0 && k == r.cfg.K && h == r.cfg.MaxParity {
 		return r.code, r.zeroFill
 	}
-	c, err := r.codecs.get(k, h)
+	c, err := r.codecs.get(k, h, id, arg)
 	if err != nil {
 		return nil, false
 	}
-	_, zf := c.(gf8Codec)
-	return c, zf
+	return c, codecZeroFill(c)
 }
 
 func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
@@ -367,7 +440,7 @@ func (r *Receiver) finishGroup(idx uint32, g *rxGroup) {
 		}
 	}
 	if needsDecode {
-		code, zeroFill := r.codecKH(gk, g.h)
+		code, zeroFill := r.codecKH(gk, g.h, g.codecID, g.codecArg)
 		if code == nil {
 			return // unserviceable (k,h); the group stays incomplete
 		}
@@ -468,6 +541,12 @@ func (r *Receiver) deficit(g *rxGroup) int {
 	if g.done {
 		return 0
 	}
+	if g.code != nil {
+		// Non-MDS (rect) groups: the deficit is the per-class shortfall,
+		// not k - have — extra parities of an already-covered class do not
+		// reduce what the group still needs.
+		return g.code.ShortfallBits(g.haveBits)
+	}
 	l := r.groupK(g) - g.have
 	if l < 0 {
 		l = 0
@@ -520,6 +599,13 @@ func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
 			K:       uint16(r.groupK(g)),
 			Count:   uint16(l),
 		}
+		var lossMap [packet.NcMaskLen]byte
+		if r.cfg.NCRepair && g.k > 0 && g.k+g.h <= 64 {
+			// NC opt-in: report WHICH data seqs are missing, not just how
+			// many, so the sender can retransmit exact XOR combinations.
+			binary.BigEndian.PutUint64(lossMap[:], (uint64(1)<<uint(g.k)-1)&^g.haveBits)
+			nak.Payload = lossMap[:]
+		}
 		frame := r.ctrlFrames.get(nak.EncodedLen())
 		if _, err := nak.MarshalTo(frame); err == nil {
 			r.env.MulticastControl(frame) //nolint:errcheck // best-effort
@@ -536,6 +622,82 @@ func (r *Receiver) fireNak(idx uint32, g *rxGroup) {
 	g.nakArmed = true
 	//rmlint:ignore hotpath-alloc NAK retry closure: runs only while a group stays incomplete after loss
 	g.nakCancel = r.env.After(backoff, func() { r.fireNak(idx, g) })
+}
+
+// onNcRepair applies one network-coded repair combo (wire v2 only): the
+// payload is an 8-byte mask of data seqs followed by their XOR. A combo
+// is useful exactly when this receiver misses ONE member: XORing out the
+// held members leaves the missing shard. Combos whose members are all
+// held are duplicates (the repair was for other receivers' losses);
+// combos covering 2+ local losses are undecodable here and only counted
+// — the next POLL's NAK re-reports the loss map and the sender re-plans.
+func (r *Receiver) onNcRepair(pkt *packet.Packet) {
+	k, h, ok := r.wireKH(pkt)
+	if !ok || int64(pkt.Group) >= int64(r.cfg.MaxGroups) {
+		return
+	}
+	r.noteTotal(pkt.Total)
+	if r.released(pkt.Group) {
+		return
+	}
+	if len(pkt.Payload) != packet.NcMaskLen+r.cfg.ShardSize || k > 63 {
+		return
+	}
+	g := r.group(pkt.Group, k, h)
+	if g.done {
+		return
+	}
+	if g.k == 0 {
+		g.k, g.h = k, h
+	} else if g.k != k {
+		return
+	}
+	if !r.adoptCodec(g, pkt, k, h) {
+		return
+	}
+	mask := binary.BigEndian.Uint64(pkt.Payload) & (uint64(1)<<uint(k) - 1)
+	if mask == 0 {
+		return
+	}
+	r.stats.NcRx++
+	missing, missIdx := 0, 0
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= uint64(1) << uint(i)
+		if g.shards[i] == nil {
+			missing++
+			missIdx = i
+		}
+	}
+	switch {
+	case missing == 0:
+		r.stats.DupRx++
+		r.m.ncDup.Inc()
+		return
+	case missing > 1:
+		r.m.ncUnusable.Inc()
+		return
+	}
+	shard := r.shardPool.get(r.cfg.ShardSize)
+	copy(shard, pkt.Payload[packet.NcMaskLen:])
+	for m := mask &^ (uint64(1) << uint(missIdx)); m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= uint64(1) << uint(i)
+		gf256.AddSlice(g.shards[i], shard)
+	}
+	g.shards[missIdx] = shard
+	g.have++
+	g.haveBits |= uint64(1) << uint(missIdx)
+	if !g.sawShard {
+		g.sawShard = true
+		g.firstAt = r.env.Now()
+	}
+	r.stats.NcRepaired++
+	r.m.ncRepair.Inc()
+	if r.groupComplete(g) {
+		r.finishGroup(pkt.Group, g)
+	}
+	r.maybeComplete()
 }
 
 // onNak handles another receiver's NAK for damping: hearing NAK(i,m) with

@@ -4,9 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"rmfec/internal/adapt"
+	"rmfec/internal/gf256"
 	"rmfec/internal/metrics"
 	"rmfec/internal/packet"
 	"rmfec/internal/pipeline"
@@ -24,6 +26,8 @@ type SenderStats struct {
 	NakServed int // NAKs that triggered a parity round
 	Encoded   int // parity shards actually encoded (0 extra if pre-encoded)
 	TxErrors  int // frames the transport reported as failed to send
+	NcTx      int // network-coded repair packets (NCREPAIR) transmitted
+	NcRounds  int // repair rounds served with NC combinations instead of parities
 }
 
 // PipelineStats reports the pipelined path's behaviour for one transfer.
@@ -48,7 +52,7 @@ type Sender struct {
 	env  Env
 	benv BatchEnv // env's batching extension; nil when unsupported/disabled
 	cfg  Config
-	code erasureCodec
+	code Codec
 
 	groups []*txGroup
 	nextTG int     // next group to stream into the send queue
@@ -82,8 +86,13 @@ type Sender struct {
 	encShards int
 	encDone   int
 	encGroups []*txGroup
-	encCodec  erasureCodec
+	encCodec  Codec
 	encH      int
+
+	// Marshal-ahead free-lists: per-group wire-frame slices recycled once
+	// every data frame of a group has been consumed, so the steady state
+	// allocates neither the frames nor the slice headers.
+	frameLists [][][]byte
 
 	// Adaptive FEC control plane (Config.AdaptiveFEC). The message is
 	// retained and cut into groups lazily, one ERA at a time: all groups
@@ -100,6 +109,11 @@ type Sender struct {
 	eraBase int        // global TG index of era[0]; 0 on the static path
 	obsNext int        // next TG index whose observation closes (lag window)
 	finSent bool       // no further groups will be cut
+
+	// NC retransmission scratch (Config.NCRepair): the combo masks of one
+	// repair round and the XOR accumulation buffer, both reused.
+	ncCombos []uint64
+	ncShard  []byte
 
 	pumpCb func() // hoisted pacing callback; one closure per Sender
 
@@ -122,6 +136,25 @@ type txGroup struct {
 	resendCur  int      // rotating data index for the parity-exhaustion fallback
 	maxNeed    int      // largest NAK deficit seen; feeds the loss estimators
 	txCount    int      // data+parity packets actually transmitted for this TG
+
+	// codec is the group's negotiated repair code; codecID/codecArg its
+	// v2 wire identity. Fixed at group cut so repairs of an old group use
+	// its own code after later eras renegotiated.
+	codec    Codec
+	codecID  uint8
+	codecArg uint8
+
+	// frames holds the group's pre-marshaled data wire frames
+	// (marshal-ahead, encode-ahead path only): entry i is consumed by the
+	// group's first-round dataPacket(i) and nil afterwards.
+	frames [][]byte
+
+	// NC retransmission state: missing-data bitmaps heard in v2 NAK
+	// payloads since the last served round. lossUnknown marks a NAK that
+	// carried no map, poisoning NC for the group (a blind receiver could
+	// not decode combos reliably).
+	lossMaps    []uint64
+	lossUnknown bool
 }
 
 type outPkt struct {
@@ -261,7 +294,7 @@ func (s *Sender) Send(msg []byte) error {
 		flatData = make([][]byte, 0, nTG*s.cfg.K)
 	}
 	for g := range s.groups {
-		tg := &txGroup{index: uint32(g), data: make([][]byte, s.cfg.K), k: s.cfg.K, h: s.cfg.MaxParity}
+		tg := &txGroup{index: uint32(g), data: make([][]byte, s.cfg.K), k: s.cfg.K, h: s.cfg.MaxParity, codec: s.code}
 		base := g * perTG
 		for i := 0; i < s.cfg.K; i++ {
 			shard := make([]byte, s.cfg.ShardSize)
@@ -337,6 +370,12 @@ func (s *Sender) Send(msg []byte) error {
 		s.encCodec = s.code
 		s.encH = s.cfg.MaxParity
 		s.m.shardWidth.Set(int64(s.encShards))
+		// Marshal-ahead: data frames of the groups the initial Prefetch
+		// exposes to the workers are pooled and sized here, on the engine,
+		// before any job can run (see prepFrames).
+		for g := 0; g < s.cfg.Pipeline.Depth && g < nTG; g++ {
+			s.prepFrames(s.groups[g])
+		}
 		s.enc = pipeline.New(nTG*s.encShards, s.cfg.Pipeline.Workers, s.encodeJob)
 		s.enc.Prefetch(s.cfg.Pipeline.Depth*s.encShards - 1)
 	}
@@ -386,14 +425,22 @@ func (s *Sender) sendAdaptive(msg []byte) error {
 // at working point p and restarts the encode-ahead pool over them. On a
 // retune this is the renegotiation flush: the previous era's unstreamed
 // groups and queued encode jobs are discarded at the TG boundary, and the
-// remainder is re-cut at the new (k, h). Groups already streamed are
-// untouched — their repairs keep using their negotiated parameters.
+// remainder is re-cut at the new (k, h) with the rung's (gate-vetted)
+// codec. Groups already streamed are untouched — their repairs keep using
+// their negotiated parameters and code.
 func (s *Sender) startEra(p adapt.Params) {
 	if s.enc != nil {
 		s.enc.Close()
+		// The pool has quiesced (Close waits for in-flight jobs): reclaim
+		// the pre-marshaled frames of groups the flushed era never
+		// streamed.
+		for _, tg := range s.era[s.eraNext:] {
+			s.releaseFrames(tg)
+		}
 		s.enc = nil
 		s.m.encQueue.Set(0)
 	}
+	code, id, arg := s.eraCodec(p)
 	perTG := p.K * s.cfg.ShardSize
 	n := (len(s.msg) - s.cursor + perTG - 1) / perTG
 	if n == 0 && len(s.groups) == 0 {
@@ -403,7 +450,8 @@ func (s *Sender) startEra(p adapt.Params) {
 	s.eraNext = 0
 	s.eraBase = len(s.groups)
 	for g := range s.era {
-		tg := &txGroup{index: uint32(s.eraBase + g), data: make([][]byte, p.K), k: p.K, h: p.H}
+		tg := &txGroup{index: uint32(s.eraBase + g), data: make([][]byte, p.K), k: p.K, h: p.H,
+			codec: code, codecID: id, codecArg: arg}
 		base := s.cursor + g*perTG
 		for i := 0; i < p.K; i++ {
 			shard := make([]byte, s.cfg.ShardSize)
@@ -428,13 +476,56 @@ func (s *Sender) startEra(p adapt.Params) {
 			tg.parities = make([][]byte, ahead)
 		}
 		s.encGroups = s.era
-		s.encCodec = s.codecKH(p.K, p.H)
+		s.encCodec = code
 		s.encH = p.H
 		s.encDone = 0
 		s.m.shardWidth.Set(int64(s.encShards))
+		for g := 0; g < s.cfg.Pipeline.Depth && g < n; g++ {
+			s.prepFrames(s.era[g])
+		}
 		s.enc = pipeline.New(n*s.encShards, s.cfg.Pipeline.Workers, s.encodeJob)
 		s.enc.Prefetch(s.cfg.Pipeline.Depth*s.encShards - 1)
 	}
+}
+
+// eraCodec resolves the repair code an era uses: the rung's requested
+// codec when the benchmark gate admits it, else the Reed-Solomon
+// incumbent at the same (k, h). The gate mode (Config.CodecGate) decides
+// whether admission is measured, forced or denied.
+func (s *Sender) eraCodec(p adapt.Params) (code Codec, id, arg uint8) {
+	rs, err := s.codecs.get(p.K, p.H, packet.CodecRS, 0)
+	if err != nil {
+		panic(err) // ladder rungs are validated against codec limits
+	}
+	if p.Codec == packet.CodecRS {
+		return rs, packet.CodecRS, 0
+	}
+	cand, err := s.codecs.get(p.K, p.H, p.Codec, p.CodecArg)
+	if err != nil {
+		// Validated ladders cannot reach here, but a hand-built one can;
+		// fall back to RS rather than killing the transfer.
+		s.m.gateReject.Inc()
+		return rs, packet.CodecRS, 0
+	}
+	admit := false
+	switch s.cfg.CodecGate {
+	case GateForce:
+		admit = true
+		s.m.gateForced.Inc()
+	case GateOff:
+		s.m.gateReject.Inc()
+	default:
+		admit = gateAdmit(cand, rs, p.K, p.H, s.cfg.ShardSize)
+		if admit {
+			s.m.gateAdmit.Inc()
+		} else {
+			s.m.gateReject.Inc()
+		}
+	}
+	if !admit {
+		return rs, packet.CodecRS, 0
+	}
+	return cand, p.Codec, p.CodecArg
 }
 
 // refillAdaptive streams the next transmission group under the control
@@ -475,6 +566,7 @@ func (s *Sender) refillAdaptive() {
 	for i := 0; i < tg.k; i++ {
 		s.enqueue(outPkt{wire: s.dataPacket(tg, i), kind: packet.TypeData, tg: tg})
 	}
+	s.releaseFrames(tg) // every entry consumed; recycle the slice
 	a := prm.A
 	if a > tg.h {
 		a = tg.h
@@ -498,18 +590,57 @@ func (s *Sender) refillAdaptive() {
 	}
 }
 
-// codecKH returns the codec for a (k, h) working point: the static codec
-// when it matches the config (the only case outside adaptive sessions),
-// else a cached per-rung instance.
-func (s *Sender) codecKH(k, h int) erasureCodec {
-	if k == s.cfg.K && h == s.cfg.MaxParity {
-		return s.code
+// prepFrames allocates and sizes tg's data wire frames so pool workers
+// can marshal into them (marshal-ahead). It must run on the engine
+// BEFORE the pool can reach any of tg's jobs — at pool construction for
+// the groups the initial Prefetch exposes, and in collectParities for
+// the group each Prefetch advance newly exposes — because the frame
+// slice is handed to workers through the pool's submit edge, which is
+// also what publishes it. Every data packet of a group has the same
+// wire length (header + shard), so the frames are cut to final size
+// here and the workers only fill bytes.
+func (s *Sender) prepFrames(tg *txGroup) {
+	if tg.frames != nil {
+		return
 	}
-	c, err := s.codecs.get(k, h)
-	if err != nil {
-		panic(err) // ladder rungs are validated against codec limits
+	hdr := packet.HeaderLen
+	if s.cfg.AdaptiveFEC {
+		hdr = packet.HeaderLenV2
 	}
-	return c
+	tg.frames = s.frameList(tg.k)
+	for i := range tg.frames {
+		tg.frames[i] = s.frames.get(hdr + s.cfg.ShardSize)
+	}
+}
+
+// frameList pops a recycled frame slice (or allocates the first few).
+func (s *Sender) frameList(k int) [][]byte {
+	if n := len(s.frameLists); n > 0 && cap(s.frameLists[n-1]) >= k {
+		l := s.frameLists[n-1][:k]
+		s.frameLists = s.frameLists[:n-1]
+		return l
+	}
+	//rmlint:ignore hotpath-alloc free-list miss: steady state recycles the per-group frame slices
+	return make([][]byte, k)
+}
+
+// releaseFrames returns tg's unconsumed pre-marshaled frames to the
+// buffer pool and recycles the slice itself. Safe only when no pool job
+// of tg can still be running: callers are the post-stream refill paths
+// (the group's jobs were Waited on) and the era flush (after enc.Close).
+func (s *Sender) releaseFrames(tg *txGroup) {
+	if tg.frames == nil {
+		return
+	}
+	for i, f := range tg.frames {
+		if f != nil {
+			s.frames.put(f)
+			tg.frames[i] = nil
+		}
+	}
+	//rmlint:ignore hotpath-alloc free-list growth is amortized across the session
+	s.frameLists = append(s.frameLists, tg.frames)
+	tg.frames = nil
 }
 
 // encodeJob computes one row shard of a TG's first encAhead parities:
@@ -528,6 +659,7 @@ func (s *Sender) encodeJob(idx int) {
 	g, sh := idx/s.encShards, idx%s.encShards
 	tg := s.encGroups[g]
 	s.m.shardJobs.Inc()
+	s.marshalJob(tg, sh)
 	if s.encAhead == s.encH {
 		s.encCodec.EncodeBlocksShard(tg.data, tg.parities, sh, s.encShards) //nolint:errcheck // failed rows stay empty; engine re-encodes
 		return
@@ -538,6 +670,31 @@ func (s *Sender) encodeJob(idx int) {
 			return
 		}
 		tg.parities[j] = shard
+	}
+}
+
+// marshalJob is the marshal-ahead half of a pool job: it serializes the
+// data wire frames i with i % encShards == sh into the buffers
+// prepFrames cut on the engine, so the per-frame header/payload copy
+// happens off the engine goroutine alongside the parity math. The frame
+// CONTENT is exactly what the engine's frameFor would have produced
+// (same Packet fields, same MarshalTo), so transcripts cannot change;
+// the engine reads the bytes only after collectParities has Waited on
+// the group's jobs, which publishes the writes. Skipped (tg.frames ==
+// nil) when the group was never prepped — dataPacket then marshals on
+// demand as before.
+//
+//rmlint:hotpath
+func (s *Sender) marshalJob(tg *txGroup, sh int) {
+	if tg.frames == nil {
+		return
+	}
+	var p packet.Packet
+	for i := sh; i < tg.k; i += s.encShards {
+		s.buildData(&p, tg, i)
+		if _, err := p.MarshalTo(tg.frames[i]); err != nil {
+			panic(err) // engine-built packets are statically valid
+		}
 	}
 }
 
@@ -568,6 +725,11 @@ func (s *Sender) collectParities(tg *txGroup) {
 		s.m.encMisses.Inc()
 	}
 	s.encDone += s.encShards
+	// The Prefetch below newly exposes group rel+Depth to the workers;
+	// size its marshal-ahead frames first (see prepFrames).
+	if next := int(tg.index) - s.eraBase + s.cfg.Pipeline.Depth; next < len(s.encGroups) {
+		s.prepFrames(s.encGroups[next])
+	}
 	s.enc.Prefetch((int(tg.index)-s.eraBase+s.cfg.Pipeline.Depth)*s.encShards + s.encShards - 1)
 	s.m.encQueue.Set(int64(s.enc.Submitted() - s.encDone))
 	enc := 0
@@ -621,6 +783,7 @@ func (s *Sender) refill() {
 	for i := 0; i < s.cfg.K; i++ {
 		s.enqueue(outPkt{wire: s.dataPacket(tg, i), kind: packet.TypeData, tg: tg})
 	}
+	s.releaseFrames(tg) // every entry consumed; recycle the slice
 	a := s.proactiveFor()
 	for j := 0; j < a; j++ {
 		wire, err := s.parityPacket(tg)
@@ -682,6 +845,12 @@ func (s *Sender) HandlePacket(wire []byte) {
 	if need > tg.maxNeed {
 		tg.maxNeed = need
 	}
+	if s.cfg.NCRepair {
+		// Record the loss map BEFORE the aggregation early-return below:
+		// a second receiver's map must refine the combo plan even when its
+		// deficit is already covered by queued repairs.
+		s.recordLossMap(tg, pkt.Payload)
+	}
 	if s.cfg.Adaptive {
 		// Track the repair level: rise quickly on a worse deficit, sink
 		// slowly otherwise. NAKs are the only completion signal a
@@ -705,10 +874,151 @@ func (s *Sender) HandlePacket(wire []byte) {
 	s.serviceRound(tg, extra)
 }
 
+// maxLossMaps bounds the distinct per-receiver loss bitmaps aggregated
+// per TG: past it the combo constraint set degenerates toward one packet
+// per lost seq anyway, so the sender stops tracking and lets the round
+// fall back to parities/resends.
+const maxLossMaps = 16
+
+// recordLossMap folds the loss bitmap a v2 NAK carried in its payload
+// into tg's NC state. A NAK without a well-formed map marks the group's
+// losses unknown, which disables NC for it: a blind receiver could hold
+// packets the combo planner assumed lost, making combos undecodable for
+// it.
+//
+//rmlint:hotpath
+func (s *Sender) recordLossMap(tg *txGroup, payload []byte) {
+	if len(payload) != packet.NcMaskLen || tg.k > 63 {
+		tg.lossUnknown = true
+		return
+	}
+	m := binary.BigEndian.Uint64(payload) & (1<<uint(tg.k) - 1)
+	if m == 0 {
+		// A deficit with no missing data seqs (all losses were parities);
+		// nothing for NC to target from this receiver.
+		return
+	}
+	for _, e := range tg.lossMaps {
+		if e == m {
+			return
+		}
+	}
+	if len(tg.lossMaps) >= maxLossMaps {
+		tg.lossUnknown = true
+		return
+	}
+	//rmlint:ignore hotpath-alloc loss-map growth is bounded by maxLossMaps per group
+	tg.lossMaps = append(tg.lossMaps, m)
+}
+
+// tryNcRound serves a repair round as network-coded XOR combinations of
+// the exact data packets the aggregated NAK maps report lost, instead of
+// blind parities or rotating original resends. Classic NC retransmission
+// (cf. Nguyen et al.): one combo may repair a different loss at every
+// receiver, so the round needs only as many packets as the largest
+// per-receiver deficit — not the union size — and, unlike the
+// parity-exhaustion fallback, never transmits a packet every NAKing
+// receiver already holds. The greedy packer adds each lost seq to the
+// first combo that keeps every receiver's map intersecting the combo in
+// at most one bit (the decodability condition: a receiver XORs out the
+// members it holds and must be left with exactly its one missing seq).
+// It is attempted only when the remaining parity budget cannot cover the
+// deficit — where the alternative is the multi-round blind-resend
+// carousel — so enabling NC never costs a group that parities would have
+// repaired in one round.
+func (s *Sender) tryNcRound(tg *txGroup, extra int) bool {
+	if tg.lossUnknown || len(tg.lossMaps) == 0 || tg.h-tg.nextParity >= extra {
+		return false
+	}
+	union := uint64(0)
+	for _, m := range tg.lossMaps {
+		union |= m
+	}
+	combos := s.ncCombos[:0]
+	for rest := union; rest != 0; {
+		bit := rest & (-rest)
+		rest &^= bit
+		placed := false
+		for ci, c := range combos {
+			ok := true
+			for _, m := range tg.lossMaps {
+				if bits.OnesCount64((c|bit)&m) > 1 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				combos[ci] = c | bit
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			//rmlint:ignore hotpath-alloc combo scratch reuses the s.ncCombos backing; bounded by the union popcount
+			combos = append(combos, bit)
+		}
+	}
+	s.ncCombos = combos
+	round := s.round[:0]
+	for _, c := range combos {
+		//rmlint:ignore hotpath-alloc round reuses the s.round backing; grows only until the largest repair round
+		round = append(round, outPkt{wire: s.ncPacket(tg, c), kind: packet.TypeNcRepair, service: true, tg: tg})
+	}
+	tg.queued += len(combos)
+	tg.lossMaps = tg.lossMaps[:0]
+	//rmlint:ignore hotpath-alloc round reuses the s.round backing; grows only until the largest repair round
+	round = append(round, outPkt{wire: s.pollPacket(tg, len(combos)), control: true, kind: packet.TypePoll})
+	for i := len(round) - 1; i >= 0; i-- {
+		s.sendQ.pushFront(round[i])
+	}
+	s.round = round[:0]
+	s.stats.NcRounds++
+	s.m.ncRounds.Inc()
+	s.m.queueDepth.Set(int64(s.sendQ.size()))
+	s.pump()
+	return true
+}
+
+// ncPacket builds one NCREPAIR frame: payload = 8-byte big-endian mask
+// of the combined data seqs ‖ their XOR.
+func (s *Sender) ncPacket(tg *txGroup, mask uint64) []byte {
+	n := packet.NcMaskLen + s.cfg.ShardSize
+	if cap(s.ncShard) < n {
+		s.ncShard = make([]byte, n) // once per sender; reused every combo
+	}
+	buf := s.ncShard[:n]
+	binary.BigEndian.PutUint64(buf, mask)
+	body := buf[packet.NcMaskLen:]
+	first := true
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << uint(i)
+		if first {
+			copy(body, tg.data[i])
+			first = false
+		} else {
+			gf256.AddSlice(tg.data[i], body)
+		}
+	}
+	p := packet.Packet{
+		Type:    packet.TypeNcRepair,
+		Session: s.cfg.Session,
+		Group:   tg.index,
+		K:       uint16(tg.k),
+		Total:   s.wireTotal(),
+		Payload: buf,
+	}
+	s.stampVersion(&p, tg)
+	return s.frameFor(&p)
+}
+
 // serviceRound queues `extra` repair packets for tg at the FRONT of the
 // send queue, followed by a POLL, preempting data of later groups.
 func (s *Sender) serviceRound(tg *txGroup, extra int) {
 	s.collectParities(tg) // a NAK can outrun the group's refill
+	if s.cfg.NCRepair && s.tryNcRound(tg, extra) {
+		return
+	}
 	round := s.round[:0]
 	for i := 0; i < extra; i++ {
 		if tg.nextParity < tg.h {
@@ -792,8 +1102,13 @@ func (s *Sender) frameFor(p *packet.Packet) []byte {
 	return frame
 }
 
-func (s *Sender) dataPacket(tg *txGroup, i int) []byte {
-	p := packet.Packet{
+// buildData fills p with tg's data packet i. Split from dataPacket so
+// marshal-ahead pool workers build byte-identical frames: it reads only
+// immutable-after-cut group state and session config (wireTotal is
+// worker-safe — the adaptive arm returns 0 without touching s.groups,
+// the static arm reads a count fixed before the pool starts).
+func (s *Sender) buildData(p *packet.Packet, tg *txGroup, i int) {
+	*p = packet.Packet{
 		Type:    packet.TypeData,
 		Session: s.cfg.Session,
 		Group:   tg.index,
@@ -802,17 +1117,32 @@ func (s *Sender) dataPacket(tg *txGroup, i int) []byte {
 		Total:   s.wireTotal(),
 		Payload: tg.data[i],
 	}
-	s.stampVersion(&p, tg)
+	s.stampVersion(p, tg)
+}
+
+func (s *Sender) dataPacket(tg *txGroup, i int) []byte {
+	if tg.frames != nil && tg.frames[i] != nil {
+		// Marshal-ahead hit: the frame was serialized by a pool worker;
+		// consume it (the transmit path recycles it like any frame).
+		f := tg.frames[i]
+		tg.frames[i] = nil
+		return f
+	}
+	var p packet.Packet
+	s.buildData(&p, tg, i)
 	return s.frameFor(&p)
 }
 
 // stampVersion upgrades a TG-scoped packet to wire v2 on adaptive
-// sessions, carrying the group's negotiated parity budget in the extended
-// header. Static sessions stay on v1 byte for byte.
+// sessions, carrying the group's negotiated parity budget and codec
+// identity in the extended header. Static sessions stay on v1 byte for
+// byte.
 func (s *Sender) stampVersion(p *packet.Packet, tg *txGroup) {
 	if s.cfg.AdaptiveFEC {
 		p.Vers = packet.V2
 		p.H = uint16(tg.h)
+		p.Codec = tg.codecID
+		p.CodecArg = tg.codecArg
 	}
 }
 
@@ -829,7 +1159,7 @@ func (s *Sender) parityPacket(tg *txGroup) ([]byte, error) {
 		shard = tg.parities[j]
 	} else {
 		var err error
-		shard, err = s.codecKH(tg.k, tg.h).EncodeParity(j, tg.data)
+		shard, err = tg.codec.EncodeParity(j, tg.data)
 		if err != nil {
 			return nil, err
 		}
@@ -960,6 +1290,9 @@ func (s *Sender) account(out outPkt) {
 	case packet.TypeParity:
 		s.stats.ParityTx++
 		s.m.parityTx.Inc()
+	case packet.TypeNcRepair:
+		s.stats.NcTx++
+		s.m.ncTx.Inc()
 	case packet.TypePoll:
 		s.stats.PollTx++
 		s.m.pollTx.Inc()
@@ -967,7 +1300,7 @@ func (s *Sender) account(out outPkt) {
 		s.stats.FinTx++
 		s.m.finTx.Inc()
 	}
-	if out.tg != nil && (out.kind == packet.TypeData || out.kind == packet.TypeParity) {
+	if out.tg != nil && out.kind != packet.TypePoll && out.kind != packet.TypeFin {
 		out.tg.txCount++
 	}
 	if out.service && out.tg != nil && out.tg.queued > 0 {

@@ -92,6 +92,8 @@ type Stats struct {
 	PollRx     uint64 // POLLs seen
 	NakTx      uint64 // NAK frames multicast
 	NakSupp    uint64 // receiver NAKs damped (aggregate: folded into a representative)
+	NcRx       uint64 // NCREPAIR combos seen by the field's endpoint
+	NcRepaired uint64 // receiver-losses healed by NC combos
 	GroupsDone int    // groups every receiver holds k shards of
 	MaxActive  int    // high-water mark of tracked deficient receivers
 }
@@ -133,6 +135,10 @@ type Field struct {
 	// v2 TG headers. Outside adaptive mode they mirror the static config.
 	maxK, maxH int
 
+	// Per-(k, h, codec id, codec arg) codec cache for groups negotiated
+	// onto a non-MDS code (rect), whose deficit rule needs ShortfallBits.
+	codecs map[uint64]core.Codec
+
 	stats Stats
 	m     fieldMetrics
 }
@@ -152,6 +158,15 @@ type fgroup struct {
 
 	ids    []int // still-deficient receivers, ascending
 	missed []uint64
+
+	// Codec identity from the group's v2 headers (0/0 = RS, incl. every
+	// v1 group). code is non-nil only for non-MDS codecs (rect): their
+	// per-receiver deficit is the per-class shortfall of the held-shard
+	// bitmap (seqSeen &^ missed), not misses-beyond-excess.
+	codecID  uint8
+	codecArg uint8
+	codecSet bool
+	code     core.Codec
 
 	// Heard-NAK log for suppression windows: every NAK relevant to this
 	// group, with its arrival time at the population. src is the firing
@@ -360,7 +375,7 @@ func (f *Field) HandlePacket(wire []byte) {
 		return
 	}
 	var lost []int
-	if pkt.Type == packet.TypeData || pkt.Type == packet.TypeParity {
+	if pkt.Type == packet.TypeData || pkt.Type == packet.TypeParity || pkt.Type == packet.TypeNcRepair {
 		lost = f.drawLoss(&pkt)
 	}
 	if pkt.Session != f.cfg.Session {
@@ -369,6 +384,8 @@ func (f *Field) HandlePacket(wire []byte) {
 	switch pkt.Type {
 	case packet.TypeData, packet.TypeParity:
 		f.onShard(&pkt, lost)
+	case packet.TypeNcRepair:
+		f.onNcRepair(&pkt, lost)
 	case packet.TypePoll:
 		f.onPoll(&pkt)
 	case packet.TypeNak:
@@ -495,6 +512,9 @@ func (f *Field) onShard(pkt *packet.Packet, lost []int) {
 	} else if g.k != k {
 		return // conflicting parameters for the same group
 	}
+	if !f.adoptCodec(g, pkt) {
+		return
+	}
 	seq := int(pkt.Seq)
 	if seq >= g.k+g.h || len(pkt.Payload) != f.cfg.ShardSize {
 		return
@@ -554,9 +574,62 @@ func (f *Field) applyRepair(g *fgroup, seq int, fresh bool, lost []int) {
 	f.sweepGroup(g)
 }
 
-// deficit returns how many shards active receiver i still needs: its
-// misses beyond the group's excess transmissions, i.e. k - have.
+// adoptCodec validates a data-plane frame's codec identity and fixes it
+// on the group at first contact, mirroring core.Receiver: unknown ids,
+// malformed (id, arg) pairs and frames conflicting with the adopted
+// codec are rejected. v1 frames decode as (0, 0) = RS, so static
+// sessions are unaffected.
+func (f *Field) adoptCodec(g *fgroup, pkt *packet.Packet) bool {
+	id, arg := pkt.Codec, pkt.CodecArg
+	if g.codecSet {
+		return g.codecID == id && g.codecArg == arg
+	}
+	switch id {
+	case packet.CodecRS:
+		if arg != 0 {
+			return false
+		}
+	case packet.CodecRect:
+		if int(arg) != g.h {
+			return false // the field already guarantees k+h <= 64
+		}
+		c, err := f.codecByID(id, arg, g.k, g.h)
+		if err != nil {
+			return false
+		}
+		g.code = c
+	default:
+		return false
+	}
+	g.codecID, g.codecArg, g.codecSet = id, arg, true
+	return true
+}
+
+// codecByID memoizes core.CodecByID per (k, h, id, arg) working point.
+func (f *Field) codecByID(id, arg uint8, k, h int) (core.Codec, error) {
+	key := uint64(k)<<32 | uint64(h)<<16 | uint64(id)<<8 | uint64(arg)
+	if c, ok := f.codecs[key]; ok {
+		return c, nil
+	}
+	c, err := core.CodecByID(id, arg, k, h, f.cfg.ShardSize)
+	if err != nil {
+		return nil, err
+	}
+	if f.codecs == nil {
+		f.codecs = make(map[uint64]core.Codec)
+	}
+	f.codecs[key] = c
+	return c, nil
+}
+
+// deficit returns how many shards active receiver i still needs. MDS
+// groups: misses beyond the group's excess transmissions, i.e. k - have.
+// Rect groups: the per-class shortfall of the receiver's held-shard
+// bitmap — extra parities of a covered class repair nothing.
 func (f *Field) deficit(g *fgroup, i int) int {
+	if g.code != nil {
+		return g.code.ShortfallBits(g.seqSeen &^ g.missed[i])
+	}
 	l := bits.OnesCount64(g.missed[i]) - (g.nTx - f.groupK(g))
 	if l < 0 {
 		l = 0
@@ -635,7 +708,16 @@ func (f *Field) consolidate(g *fgroup) {
 				bm |= uint64(1) << uint(g.pend[j]&63)
 			}
 			i = j
-			if bits.OnesCount64(bm) > excess {
+			// Codec-aware keep rule: under the MDS codes a receiver is
+			// deficient iff its misses exceed the group's excess; under
+			// rect a receiver can be deficient even below that bound (a
+			// parity only covers its own class), so the shortfall of its
+			// held-shard bitmap decides.
+			deficient := bits.OnesCount64(bm) > excess
+			if g.code != nil {
+				deficient = g.code.ShortfallBits(g.seqSeen&^bm) > 0
+			}
+			if deficient {
 				g.ids = append(g.ids, id)
 				g.missed = append(g.missed, bm)
 			}
@@ -684,6 +766,59 @@ func (f *Field) groupDone(g *fgroup) {
 	f.doneGroups++
 	f.stats.GroupsDone++
 	f.m.groupsDone.Inc()
+}
+
+// onNcRepair folds one network-coded repair combo into the active
+// arrays: every tracked receiver that did not lose the combo itself and
+// misses EXACTLY ONE of its members recovers that member (it XORs out
+// the rest), so one combo may heal a different loss per receiver.
+// Receivers missing none are unaffected duplicates; receivers missing
+// two or more cannot decode it and keep their state.
+func (f *Field) onNcRepair(pkt *packet.Packet, lost []int) {
+	k, h, ok := f.wireKH(pkt)
+	if !ok || int64(pkt.Group) >= int64(f.cfg.MaxGroups) {
+		return
+	}
+	f.noteTotal(pkt.Total)
+	g := f.group(pkt.Group)
+	if g.k == 0 {
+		g.k, g.h = k, h
+	} else if g.k != k {
+		return
+	}
+	if !f.adoptCodec(g, pkt) {
+		return
+	}
+	if len(pkt.Payload) != packet.NcMaskLen+f.cfg.ShardSize {
+		return
+	}
+	mask := binary.BigEndian.Uint64(pkt.Payload) & (uint64(1)<<uint(g.k) - 1)
+	if mask == 0 {
+		return
+	}
+	g.tx++
+	f.stats.NcRx++
+	if g.done || !g.consolidated {
+		// NC rounds answer NAKs, which only exist post-consolidation; a
+		// straggler combo for an unconsolidated group carries no new seq
+		// and is ignored like any pre-consolidation duplicate.
+		return
+	}
+	li := 0
+	for i, id := range g.ids {
+		for li < len(lost) && lost[li] < id {
+			li++
+		}
+		if li < len(lost) && lost[li] == id {
+			continue // this receiver lost the combo packet too
+		}
+		if m := g.missed[i] & mask; m != 0 && bits.OnesCount64(m) == 1 {
+			g.missed[i] &^= m
+			f.stats.NcRepaired++
+		}
+	}
+	f.sweepGroup(g)
+	f.maybeComplete()
 }
 
 func (f *Field) onPoll(pkt *packet.Packet) {
@@ -800,20 +935,27 @@ func (f *Field) slotDelay(roundSize, l int) time.Duration {
 	return time.Duration(slot) * f.cfg.Ts
 }
 
-// sendNak multicasts one NAK carrying deficit l for group idx.
-func (f *Field) sendNak(idx uint32, l int) {
+// sendNak multicasts one NAK carrying deficit l for group g. recv is the
+// index (into g.ids) of the receiver the NAK speaks for, or -1 when
+// unknown; with NCRepair enabled its missing-data bitmap rides in the
+// payload so the sender can plan exact XOR retransmission combos.
+func (f *Field) sendNak(g *fgroup, l, recv int) {
 	k := f.cfg.K
 	if f.cfg.AdaptiveFEC {
-		if g, ok := f.groups[idx]; ok {
-			k = f.groupK(g)
-		}
+		k = f.groupK(g)
 	}
 	nak := packet.Packet{
 		Type:    packet.TypeNak,
 		Session: f.cfg.Session,
-		Group:   idx,
+		Group:   g.idx,
 		K:       uint16(k),
 		Count:   uint16(l),
+	}
+	var lossMap [packet.NcMaskLen]byte
+	if f.cfg.NCRepair && recv >= 0 && g.k > 0 {
+		held := g.seqSeen &^ g.missed[recv]
+		binary.BigEndian.PutUint64(lossMap[:], (uint64(1)<<uint(g.k)-1)&^held)
+		nak.Payload = lossMap[:]
 	}
 	frame := make([]byte, nak.EncodedLen())
 	if _, err := nak.MarshalTo(frame); err == nil {
@@ -822,5 +964,5 @@ func (f *Field) sendNak(idx uint32, l int) {
 	f.stats.NakTx++
 	f.m.naksSent.Inc()
 	f.m.nakDeficit.Observe(float64(l))
-	f.cfg.Trace.Record(traceEvent(f.env.Now(), core.TraceNakTx, uint64(idx), uint64(l)))
+	f.cfg.Trace.Record(traceEvent(f.env.Now(), core.TraceNakTx, uint64(g.idx), uint64(l)))
 }

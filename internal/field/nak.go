@@ -37,13 +37,20 @@ func (f *Field) labelJitter(group uint32, round int) time.Duration {
 
 // lmax returns the group's worst active deficit.
 func (f *Field) lmax(g *fgroup) int {
-	max := 0
+	l, _ := f.lmaxWith(g)
+	return l
+}
+
+// lmaxWith returns the group's worst active deficit and the index (into
+// g.ids) of a receiver attaining it, -1 when every deficit is zero.
+func (f *Field) lmaxWith(g *fgroup) (int, int) {
+	max, wi := 0, -1
 	for i := range g.ids {
 		if l := f.deficit(g, i); l > max {
-			max = l
+			max, wi = l, i
 		}
 	}
-	return max
+	return max, wi
 }
 
 // armRep arms (or re-arms) the group's representative NAK timer for a
@@ -70,7 +77,7 @@ func (f *Field) fireRep(g *fgroup) {
 		return
 	}
 	now := f.env.Now()
-	l := f.lmax(g)
+	l, worst := f.lmaxWith(g)
 	if l == 0 {
 		return
 	}
@@ -81,7 +88,7 @@ func (f *Field) fireRep(g *fgroup) {
 		f.stats.NakSupp += deficient
 		f.m.naksSupp.Add(deficient)
 	} else {
-		f.sendNak(g.idx, l)
+		f.sendNak(g, l, worst)
 		// The representative spoke for every other deficient receiver.
 		f.stats.NakSupp += deficient - 1
 		f.m.naksSupp.Add(deficient - 1)
@@ -146,7 +153,7 @@ func (f *Field) fireExact(g *fgroup, id int) {
 		f.stats.NakSupp++
 		f.m.naksSupp.Inc()
 	} else {
-		f.sendNak(g.idx, l)
+		f.sendNak(g, l, i)
 		// The population hears this NAK one inter-receiver delay later.
 		f.hearNak(g, now+f.interDelay, l, id)
 	}

@@ -113,6 +113,7 @@ func DefaultConfig() Config {
 			"internal/core",
 			"internal/field",
 			"internal/layered",
+			"internal/rect",
 			"internal/simnet",
 			"internal/figures",
 			"internal/udpcast", // real-clock Env: every wall-clock read is annotated
@@ -130,6 +131,7 @@ func DefaultConfig() Config {
 			"internal/core",
 			"internal/field",
 			"internal/layered",
+			"internal/rect",
 			"internal/simnet",
 			"internal/figures",
 			"internal/sim",

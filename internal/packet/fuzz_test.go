@@ -16,6 +16,17 @@ func FuzzDecode(f *testing.F) {
 	f.Add((&Packet{Vers: V2, Type: TypeData, K: 8, H: 4, Payload: []byte("v2 seed")}).MustEncode())
 	f.Add((&Packet{Vers: V2, Type: TypeParity, K: 12, H: 10, Seq: 13, Codec: 1, CodecArg: 2}).MustEncode())
 	f.Add([]byte{Magic, V2, byte(TypePoll), 0, 0, 0, 0, 1}) // v2 header truncated below HeaderLenV2
+	f.Add((&Packet{Vers: V2, Type: TypeData, K: 20, H: 5, Seq: 3, Codec: CodecRect, CodecArg: 5,
+		Payload: []byte("rect shard")}).MustEncode())
+	ncPayload := append(make([]byte, NcMaskLen), []byte("nc combo")...)
+	ncPayload[NcMaskLen-1] = 0b10101
+	f.Add((&Packet{Vers: V2, Type: TypeNcRepair, K: 8, H: 2, Codec: CodecRS, Total: 8,
+		Payload: ncPayload}).MustEncode())
+	// Hand-built v1 header claiming type 6 (NCREPAIR): v1 decoders and the
+	// fuzz invariants must reject it, never round-trip it.
+	v1nc := make([]byte, HeaderLen)
+	v1nc[0], v1nc[1], v1nc[2] = Magic, V1, byte(TypeNcRepair)
+	f.Add(v1nc)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		p, err := Decode(b)
 		if err != nil {

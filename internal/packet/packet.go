@@ -28,9 +28,10 @@
 // wire alone:
 //
 //	offset 24 : uint16 h      — parities encodable for this TG
-//	offset 26 : uint8  codec  — repair-code identifier (0 = Reed-Solomon,
-//	                            Vandermonde, GF chosen by k+h as in v1)
-//	offset 27 : uint8  codec arg — codec-specific parameter, 0 for RS
+//	offset 26 : uint8  codec  — repair-code identifier (CodecRS,
+//	                            CodecRect, ...)
+//	offset 27 : uint8  codec arg — codec-specific parameter: 0 for RS,
+//	                            the class count d for the rectangular code
 //	offset 28 : payload
 //
 // A v1 decoder rejects v2 frames with ErrBadVersion — cleanly, not as a
@@ -56,6 +57,28 @@ const (
 	TypePoll         // sender solicits feedback for a TG round
 	TypeNak          // receiver reports packets still needed
 	TypeFin          // sender announces transfer size / end of new data
+
+	// TypeNcRepair is a network-coded retransmission: the payload is an
+	// 8-byte big-endian bitmap of the data seqs combined, followed by
+	// their XOR. A receiver missing exactly one of the named shards
+	// recovers it by XOR-ing out the ones it holds. NCREPAIR frames exist
+	// only on the v2 wire — a v1 decoder rejects type 6 with ErrBadType
+	// exactly as it always has, so the legacy wire format is untouched.
+	TypeNcRepair Type = 6
+)
+
+// NcMaskLen is the length of the lost-shard bitmap prefix of an NCREPAIR
+// payload and of the optional missing-data bitmap payload of a v2 NAK.
+const NcMaskLen = 8
+
+// Codec identifiers carried by the v2 TG header's codec byte.
+const (
+	// CodecRS is Reed-Solomon (Vandermonde, field chosen by k+h as in
+	// v1); its codec arg is 0.
+	CodecRS uint8 = 0
+	// CodecRect is the XOR-only interleaved rectangular code
+	// (internal/rect); its codec arg carries the class count d = h.
+	CodecRect uint8 = 1
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +94,8 @@ func (t Type) String() string {
 		return "NAK"
 	case TypeFin:
 		return "FIN"
+	case TypeNcRepair:
+		return "NCREPAIR"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -120,8 +145,8 @@ type Packet struct {
 	// H is the TG's parity budget, carried only by v2 frames (0 on v1).
 	H uint16
 	// Codec and CodecArg identify the repair code of a v2 TG header:
-	// 0/0 is Reed-Solomon (Vandermonde, field chosen by k+h). Reserved
-	// for the codec-portfolio work; carried verbatim.
+	// CodecRS (arg 0) is Reed-Solomon (Vandermonde, field chosen by
+	// k+h), CodecRect (arg d) the interleaved XOR rectangular code.
 	Codec    uint8
 	CodecArg uint8
 }
@@ -144,11 +169,14 @@ func (p *Packet) EncodedLen() int { return p.headerLen() + len(p.Payload) }
 //
 //rmlint:hotpath
 func (p *Packet) MarshalTo(dst []byte) (int, error) {
-	if p.Type == TypeInvalid || p.Type > TypeFin {
+	if p.Type == TypeInvalid || p.Type > TypeNcRepair {
 		return 0, fmt.Errorf("%w: %d", ErrBadType, p.Type)
 	}
 	if p.Vers > V2 {
 		return 0, fmt.Errorf("%w: %d", ErrBadVersion, p.Vers)
+	}
+	if p.Type == TypeNcRepair && p.Vers != V2 {
+		return 0, fmt.Errorf("%w: NCREPAIR requires v2", ErrBadVersion)
 	}
 	if len(p.Payload) >= MaxPayload {
 		return 0, fmt.Errorf("%w: %d bytes", ErrOversize, len(p.Payload))
@@ -266,7 +294,11 @@ func decodeInto(p *Packet, b []byte, maxVers uint8) error {
 		}
 	}
 	t := Type(b[2])
-	if t == TypeInvalid || t > TypeFin {
+	maxType := TypeFin
+	if vers == V2 {
+		maxType = TypeNcRepair
+	}
+	if t == TypeInvalid || t > maxType {
 		return fmt.Errorf("%w: %d", ErrBadType, b[2])
 	}
 	plen := int(binary.BigEndian.Uint16(b[18:]))

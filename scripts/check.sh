@@ -18,11 +18,11 @@
 #                       the race detector (udpcast transport, simnet
 #                       scheduler, core engines driven by both, the mcrun
 #                       parallel Monte-Carlo runner, the encode-ahead
-#                       pipeline pool, the row-sharded rse/rse16 parallel
-#                       encode, the receiver field, whose NAK-schedule
-#                       determinism contract runs under mcrun parallelism,
-#                       and the adaptive FEC controller driven by the core
-#                       engines' pipelined scenario tests)
+#                       pipeline pool, the row-sharded rse/rse16/rect
+#                       parallel encode, the receiver field, whose
+#                       NAK-schedule determinism contract runs under mcrun
+#                       parallelism, and the adaptive FEC controller driven
+#                       by the core engines' pipelined scenario tests)
 #   7. field smoke      one reduced-scale receiver-field transfer — a full
 #                       NP session fronting R = 1e5 simulated receivers
 #                       through one struct-of-arrays field.Field with
@@ -34,7 +34,11 @@
 #                       (including the per-core scaling sweep, which skips
 #                       itself with skipped_insufficient_cpus on 1-CPU
 #                       hosts, and the sendmmsg syscall tier) compile and
-#                       both sender paths drain to idle
+#                       both sender paths drain to idle; plus one 1-pass
+#                       -codec-only run: the codec-portfolio tier (rect vs
+#                       RS encode cost) and the NC-vs-carousel repair
+#                       scenario, which hard-fails if either field scenario
+#                       leaves the population incomplete
 #   9. transcripts      the sender transcript hash of a fixed transfer,
 #                       twice at pipeline depth 0, once pipelined, and
 #                       once pipelined with sharded parallel encode:
@@ -96,13 +100,16 @@ echo '== go test ./...'
 go test ./...
 
 echo '== go test -race -short (concurrent packages)'
-go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/ ./internal/field/ ./internal/adapt/
+go test -race -short ./internal/udpcast/ ./internal/simnet/ ./internal/core/ ./internal/mcrun/ ./internal/pipeline/ ./internal/rse/ ./internal/rse16/ ./internal/rect/ ./internal/field/ ./internal/adapt/
 
 echo '== receiver field smoke (R=1e5 full transfer vs closed form, -short)'
 go test -short -count=1 -run 'TestFieldSmokeR100k|TestFieldEMReconciliation' ./internal/field/
 
 echo '== NP loopback bench smoke (cmd/bench -np-only, 1 pass)'
 go run ./cmd/bench -np-only -runs 1 -np-groups 40 -out - > /dev/null
+
+echo '== codec portfolio smoke (cmd/bench -codec-only: rect vs RS, NC vs carousel)'
+go run ./cmd/bench -codec-only -runs 1 -out - > /dev/null
 
 echo '== adaptive FEC smoke (cmd/bench -adapt-scenario: loss-shift convergence)'
 go run ./cmd/bench -adapt-scenario -adapt-out "$tmp/adapt"
@@ -164,8 +171,10 @@ else
             | sed -e 's/_sum$//' -e 's/_count$//' \
             | LC_ALL=C sort -u > "$tmp/schema.txt"
         # npsend runs the sender half only; slice the pinned schema down to
-        # the series a sender process registers.
-        grep -E '^(np_sender_|np_pipeline_|rse_|udpcast_)' scripts/metrics_schema.txt \
+        # the series a sender process registers (np_codec_nc_rx_* is the
+        # receiver half of the NC instruments).
+        grep -E '^(np_sender_|np_pipeline_|np_codec_|rse_|udpcast_)' scripts/metrics_schema.txt \
+            | grep -v '^np_codec_nc_rx_' \
             > "$tmp/schema.want"
         if ! cmp -s "$tmp/schema.txt" "$tmp/schema.want"; then
             echo 'metrics series set drifted from scripts/metrics_schema.txt:' >&2
